@@ -1,0 +1,65 @@
+// Ablation: sensitivity to the hardware reconfiguration overhead.
+//
+// The paper relies on Transmuter's <= 10-cycle runtime reconfiguration
+// (§II-B, §III-D). This ablation reruns a reconfiguration-heavy workload
+// (SSSP, whose frontier crosses the CVD twice) with the mode-switch cost
+// swept from 0 to 1M cycles, showing how expensive reconfiguration would
+// have to be before per-iteration co-reconfiguration stops paying off.
+#include <iostream>
+
+#include "bench_util.h"
+#include "graph/algorithms.h"
+#include "runtime/engine.h"
+#include "sparse/datasets.h"
+
+using namespace cosparse;
+
+int main(int argc, char** argv) {
+  CliParser cli("abl_reconfig_cost",
+                "Ablation: reconfiguration overhead sweep");
+  bench::add_common_options(cli, "32");
+  cli.add_option("system", "AxB system", "16x16");
+  cli.add_option("graph", "dataset name", "pokec");
+  cli.add_option("costs", "reconfig cycle costs",
+                 "0,10,1000,100000,1000000");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto scale = static_cast<unsigned>(cli.integer("scale"));
+  const auto base_sys = bench::parse_systems(cli.str("system")).front();
+
+  sparse::DatasetRegistry reg;
+  const auto g = reg.load(cli.str("graph"), scale);
+
+  // Baseline: no reconfiguration at all (IP in SC).
+  runtime::EngineOptions fixed;
+  fixed.sw_reconfig = false;
+  fixed.hw_reconfig = false;
+  fixed.fixed_sw = runtime::SwConfig::kIP;
+  runtime::Engine baseline_eng(g.adjacency(), base_sys, fixed);
+  const auto baseline = graph::sssp(baseline_eng, 0);
+
+  std::cout << "Ablation: SSSP on " << cli.str("graph") << " (1/" << scale
+            << " scale) on " << base_sys.name()
+            << "; speedup of full co-reconfiguration over the IP-SC "
+               "baseline as the mode-switch cost grows\n"
+            << "(paper assumption: <= 10 cycles)\n\n";
+
+  Table t({"reconfig cycles", "total Mcycles", "HW switches",
+           "speedup vs no-reconfig"});
+  for (const auto cost : cli.int_list("costs")) {
+    sim::SystemConfig sys = base_sys;
+    sys.reconfig_cycles = static_cast<double>(cost);
+    runtime::Engine eng(g.adjacency(), sys);
+    const auto run = graph::sssp(eng, 0);
+    t.add_row({std::to_string(cost),
+               Table::fmt(static_cast<double>(run.stats.cycles) / 1e6, 2),
+               std::to_string(run.stats.hw_switches()),
+               Table::fmt_ratio(static_cast<double>(baseline.stats.cycles) /
+                                static_cast<double>(run.stats.cycles))});
+  }
+  bench::emit("abl_reconfig_cost", t);
+  std::cout << "Expectation: the benefit is insensitive below ~1k cycles "
+               "(switches are rare: 1-2 per run), so the <= 10-cycle "
+               "Transmuter mechanism is far from being the bottleneck.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "bench_util.h"
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "kernels/address_map.h"
+#include "kernels/partition.h"
+#include "kernels/semiring.h"
+#include "sparse/generate.h"
+
+namespace cosparse::bench {
+
+Index vblock_cols_for(const sim::SystemConfig& cfg) {
+  const double spm = static_cast<double>(cfg.scs_spm_bytes_per_tile());
+  const auto cols = static_cast<Index>(spm / 8.0);
+  return std::max<Index>(64, cols / 64 * 64);
+}
+
+KernelRun time_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
+                  const sim::SystemConfig& cfg, sim::HwConfig hw,
+                  bool nnz_balanced, bool vblocked) {
+  sim::Machine machine(cfg, hw);
+  kernels::AddressMap amap(machine);
+  const auto part = kernels::IpPartitionedMatrix::build(
+      m, cfg.num_pes(), vblocked ? vblock_cols_for(cfg) : 0, nnz_balanced);
+  kernels::run_inner_product(machine, amap, part, x, kernels::PlainSpmv{});
+  KernelRun run;
+  run.cycles = machine.cycles();
+  run.energy_pj = machine.energy_pj();
+  run.stats = machine.stats();
+  return run;
+}
+
+KernelRun time_op(const sparse::Coo& m, const sparse::SparseVector& x,
+                  const sim::SystemConfig& cfg, sim::HwConfig hw,
+                  bool nnz_balanced) {
+  sim::Machine machine(cfg, hw);
+  kernels::AddressMap amap(machine);
+  const auto striped =
+      kernels::OpStripedMatrix::build(m, cfg.num_tiles, nnz_balanced);
+  kernels::run_outer_product(machine, amap, striped, x, nullptr,
+                             kernels::PlainSpmv{});
+  KernelRun run;
+  run.cycles = machine.cycles();
+  run.energy_pj = machine.energy_pj();
+  run.stats = machine.stats();
+  return run;
+}
+
+std::vector<sim::SystemConfig> parse_systems(const std::string& list) {
+  std::vector<sim::SystemConfig> out;
+  std::string item;
+  std::stringstream ss(list);
+  while (std::getline(ss, item, ',')) {
+    const auto x = item.find('x');
+    COSPARSE_REQUIRE(x != std::string::npos,
+                     "system spec must look like 4x8: " + item);
+    const auto tiles = static_cast<std::uint32_t>(
+        std::stoul(item.substr(0, x)));
+    const auto pes =
+        static_cast<std::uint32_t>(std::stoul(item.substr(x + 1)));
+    out.push_back(sim::SystemConfig::transmuter(tiles, pes));
+  }
+  COSPARSE_REQUIRE(!out.empty(), "no systems given");
+  return out;
+}
+
+std::vector<SweepMatrix> sweep_matrices(unsigned scale, bool power_law,
+                                        std::uint64_t seed) {
+  COSPARSE_REQUIRE(scale >= 1, "scale must be >= 1");
+  // Paper family: N in {131k, 262k, 524k, 1M}, equal nnz (~4.19M), so the
+  // largest matrix is also the sparsest (Fig. 5's observation).
+  const std::vector<std::pair<std::string, Index>> dims = {
+      {"N=131k", 131072},
+      {"N=262k", 262144},
+      {"N=524k", 524288},
+      {"N=1M", 1048576},
+  };
+  const std::uint64_t nnz = 4194304 / scale;
+  std::vector<SweepMatrix> out;
+  std::uint64_t s = seed;
+  for (const auto& [label, n] : dims) {
+    const Index dim = n / scale;
+    out.push_back(
+        {label, power_law
+                    ? sparse::power_law(dim, dim, nnz, 2.1, s,
+                                        sparse::ValueDist::kUniform01)
+                    : sparse::uniform_random(dim, dim, nnz, s,
+                                             sparse::ValueDist::kUniform01)});
+    ++s;
+  }
+  return out;
+}
+
+void emit(const std::string& name, const Table& table) {
+  table.print(std::cout);
+  std::cout << std::endl;
+  std::filesystem::create_directories("bench_out");
+  table.write_csv("bench_out/" + name + ".csv");
+}
+
+void add_common_options(CliParser& cli, const std::string& default_scale) {
+  cli.add_option("scale", "size divisor (1 = paper-exact dimensions)",
+                 default_scale);
+  cli.add_option("seed", "base RNG seed", "1000");
+}
+
+}  // namespace cosparse::bench

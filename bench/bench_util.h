@@ -1,0 +1,66 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every fig*/tab* binary prints the same rows/series the paper reports
+// (as an aligned text table) and mirrors them to CSV under bench_out/.
+// Sizes default to a documented scale divisor so the full suite runs on a
+// laptop-class machine; pass --scale 1 for paper-exact dimensions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "kernels/frontier.h"
+#include "kernels/ip_spmv.h"
+#include "kernels/op_spmv.h"
+#include "sim/machine.h"
+#include "sparse/formats.h"
+#include "sparse/vector.h"
+
+namespace cosparse::bench {
+
+struct KernelRun {
+  Cycles cycles = 0;
+  Picojoules energy_pj = 0;
+  sim::Stats stats;
+
+  [[nodiscard]] double seconds(double freq_ghz = 1.0) const {
+    return static_cast<double>(cycles) / (freq_ghz * 1e9);
+  }
+  [[nodiscard]] double joules() const { return energy_pj * 1e-12; }
+};
+
+/// vblock width used by the IP kernel for this system (matches
+/// runtime::Engine's choice).
+Index vblock_cols_for(const sim::SystemConfig& cfg);
+
+/// Times one inner-product SpMV on a fresh machine in `hw`.
+KernelRun time_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
+                  const sim::SystemConfig& cfg, sim::HwConfig hw,
+                  bool nnz_balanced = true, bool vblocked = true);
+
+/// Times one outer-product SpMV on a fresh machine in `hw`.
+KernelRun time_op(const sparse::Coo& m, const sparse::SparseVector& x,
+                  const sim::SystemConfig& cfg, sim::HwConfig hw,
+                  bool nnz_balanced = true);
+
+/// Parses "4x8,8x16" into system configs.
+std::vector<sim::SystemConfig> parse_systems(const std::string& list);
+
+/// The uniform sweep matrices of Figs. 4-6: dimensions {131k, 262k, 524k,
+/// 1M} / scale with ~4.19M / scale non-zeros each (equal-nnz family).
+struct SweepMatrix {
+  std::string label;  ///< e.g. "N=131k" (paper labeling, pre-scale)
+  sparse::Coo matrix;
+};
+std::vector<SweepMatrix> sweep_matrices(unsigned scale, bool power_law,
+                                        std::uint64_t seed = 1000);
+
+/// Prints the table and writes bench_out/<name>.csv (creating the dir).
+void emit(const std::string& name, const Table& table);
+
+/// Adds the standard options shared by all harnesses.
+void add_common_options(CliParser& cli, const std::string& default_scale);
+
+}  // namespace cosparse::bench

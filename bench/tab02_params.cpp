@@ -1,0 +1,75 @@
+// Table II reproduction: the microarchitectural parameters of the
+// simulated hardware, printed from the actual SystemConfig defaults so the
+// table can never drift from the implementation.
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/energy.h"
+
+using namespace cosparse;
+
+int main(int argc, char** argv) {
+  CliParser cli("tab02_params", "Table II: microarchitectural parameters");
+  cli.add_option("system", "AxB system", "16x16");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto sys = bench::parse_systems(cli.str("system")).front();
+
+  std::cout << "Table II: microarchitectural parameters (as simulated), "
+            << sys.name() << " system\n\n";
+
+  Table t({"module", "parameter", "value"});
+  auto row = [&](const char* m, const char* p, const std::string& v) {
+    t.add_row({m, p, v});
+  };
+
+  row("PE/LCP", "core model",
+      "1-issue in-order (MinorCPU-like), blocking memory ops");
+  row("PE/LCP", "clock", Table::fmt(sys.freq_ghz, 1) + " GHz");
+  row("PE/LCP", "count",
+      std::to_string(sys.num_pes()) + " PEs + " +
+          std::to_string(sys.num_tiles) + " LCPs");
+  row("RCache", "bank size", std::to_string(sys.bank_bytes / 1024) + " kB");
+  row("RCache", "cache mode",
+      std::to_string(sys.associativity) + "-way set-assoc, " +
+          std::to_string(sys.line_bytes) + " B lines, LRU, write-back, " +
+          "stride prefetcher (depth " +
+          std::to_string(sys.prefetch_depth) + ")");
+  row("RCache", "SPM mode", "word-granular, deterministic " +
+                                Table::fmt(sys.spm_latency, 0) + "-cycle");
+  row("RCache", "L1 banks/tile", std::to_string(sys.l1_banks_per_tile()));
+  row("RCache", "L2 banks/tile", std::to_string(sys.l2_banks_per_tile()));
+  row("RXBar", "traversal", Table::fmt(sys.xbar_latency, 0) + " cycle");
+  row("RXBar", "shared arbitration",
+      "statistical: " + Table::fmt(sys.xbar_conflict_factor, 2) +
+          " x (sharers-1)/banks cycles per access");
+  row("RXBar", "private mode", "transparent, direct access");
+  row("Main memory", "organization",
+      std::to_string(sys.dram_channels) + " pseudo-channels @ " +
+          Table::fmt(sys.dram_bytes_per_cycle_per_channel * sys.freq_ghz, 0) +
+          " GB/s each");
+  row("Main memory", "latency",
+      Table::fmt(sys.dram_latency_min, 0) + "-" +
+          Table::fmt(sys.dram_latency_max, 0) + " ns, utilization-dependent");
+  row("Reconfiguration", "mode switch",
+      Table::fmt(sys.reconfig_cycles, 0) + " cycles + dirty-line flush");
+  row("LCP", "OP result handling",
+      Table::fmt(sys.lcp_cycles_per_element(), 1) + " cycles/element (2 + 0.5/PE)");
+
+  const sim::EnergyParams ep;
+  row("Energy", "PE active", Table::fmt(ep.pe_active_pj, 1) + " pJ/cycle");
+  row("Energy", "cache access", Table::fmt(ep.cache_access_pj, 1) + " pJ");
+  row("Energy", "SPM access", Table::fmt(ep.spm_access_pj, 1) + " pJ");
+  row("Energy", "crossbar hop", Table::fmt(ep.xbar_hop_pj, 1) + " pJ");
+  row("Energy", "DRAM", Table::fmt(ep.dram_pj_per_byte, 1) + " pJ/B");
+
+  bench::emit("tab02", t);
+
+  std::cout << "On-chip capacity: " << sys.l1_bytes_per_tile() / 1024
+            << " kB L1 per tile, " << sys.l2_bytes_total() / 1024
+            << " kB L2 total; SCS SPM "
+            << sys.scs_spm_bytes_per_tile() / 1024
+            << " kB/tile; PS SPM " << sys.ps_spm_bytes_per_pe() / 1024
+            << " kB/PE\n";
+  return 0;
+}

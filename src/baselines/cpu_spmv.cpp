@@ -1,0 +1,58 @@
+#include "baselines/cpu_spmv.h"
+
+#include <thread>
+#include <vector>
+
+#include "baselines/power.h"
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace cosparse::baselines {
+
+CpuSpmvResult cpu_spmv(const sparse::Csr& m, const sparse::DenseVector& x,
+                       unsigned threads, unsigned repeats) {
+  COSPARSE_REQUIRE(m.cols() == x.dimension(),
+                   "cpu_spmv: dimension mismatch");
+  COSPARSE_REQUIRE(repeats >= 1, "cpu_spmv: repeats must be >= 1");
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+
+  CpuSpmvResult res;
+  res.y = sparse::DenseVector(m.rows(), 0.0);
+
+  auto run_block = [&](Index r0, Index r1) {
+    const auto& col = m.col_idx();
+    const auto& val = m.values();
+    const auto& xv = x.values();
+    for (Index r = r0; r < r1; ++r) {
+      Value acc = 0.0;
+      for (Offset k = m.row_begin(r); k < m.row_end(r); ++k) {
+        acc += val[k] * xv[col[k]];
+      }
+      res.y[r] = acc;
+    }
+  };
+
+  double best = 1e300;
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    Stopwatch sw;
+    if (threads <= 1 || m.rows() < 2 * threads) {
+      run_block(0, m.rows());
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      const Index rows_per = (m.rows() + threads - 1) / threads;
+      for (unsigned t = 0; t < threads; ++t) {
+        const Index r0 = std::min<Index>(m.rows(), t * rows_per);
+        const Index r1 = std::min<Index>(m.rows(), r0 + rows_per);
+        if (r0 < r1) pool.emplace_back(run_block, r0, r1);
+      }
+      for (auto& th : pool) th.join();
+    }
+    best = std::min(best, sw.seconds());
+  }
+  res.seconds = best;
+  res.joules = best * kCpuI7Watts;
+  return res;
+}
+
+}  // namespace cosparse::baselines

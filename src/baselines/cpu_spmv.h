@@ -1,0 +1,27 @@
+// Native (host-executed) CPU SpMV baseline.
+//
+// Stands in for the paper's "Intel i7-6700K running MKL 2018.3" point in
+// Fig. 8: an optimized dense-dataflow CSR SpMV y = M*x parallelized over
+// row blocks. Like MKL's csrmv it does the full matrix work regardless of
+// how sparse the input vector happens to be — which is exactly why
+// CoSPARSE's advantage grows as the vector gets sparser.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/formats.h"
+#include "sparse/vector.h"
+
+namespace cosparse::baselines {
+
+struct CpuSpmvResult {
+  sparse::DenseVector y;
+  double seconds = 0.0;
+  double joules = 0.0;  ///< seconds x kCpuI7Watts
+};
+
+/// `threads == 0` uses std::thread::hardware_concurrency().
+CpuSpmvResult cpu_spmv(const sparse::Csr& m, const sparse::DenseVector& x,
+                       unsigned threads = 0, unsigned repeats = 3);
+
+}  // namespace cosparse::baselines

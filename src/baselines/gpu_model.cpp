@@ -1,0 +1,35 @@
+#include "baselines/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosparse::baselines {
+
+GpuModelResult gpu_spmv_model(Index rows, Index cols, std::uint64_t nnz,
+                              GpuModelParams p) {
+  GpuModelResult res;
+  // Locality proxy: average non-zeros per matrix row. Long rows coalesce
+  // vector gathers better; a handful of non-zeros per row leaves most of a
+  // 32-thread warp's loads divergent, pinning utilization at the low end.
+  const double nnz_per_row =
+      rows == 0 ? 0.0 : static_cast<double>(nnz) / static_cast<double>(rows);
+  const double locality = std::clamp(nnz_per_row / 256.0, 0.0, 1.0);
+  res.utilization =
+      std::clamp(p.min_utilization +
+                     (p.max_utilization - p.min_utilization) * locality,
+                 p.min_utilization, p.max_utilization);
+
+  // csrmv traffic: 12 B per non-zero (column index + value), an 8 B vector
+  // gather per non-zero (low locality, counted uncached), row pointers, and
+  // the output write.
+  const double bytes = static_cast<double>(nnz) * (12.0 + 8.0) +
+                       static_cast<double>(rows + 1) * 4.0 +
+                       static_cast<double>(rows) * 8.0 +
+                       static_cast<double>(cols) * 8.0;
+  const double transfer = bytes / (p.bandwidth_bps * res.utilization);
+  res.seconds = p.launch_seconds + transfer * (1.0 + p.stall_overhead);
+  res.joules = res.seconds * p.watts;
+  return res;
+}
+
+}  // namespace cosparse::baselines

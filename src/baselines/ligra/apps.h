@@ -1,0 +1,74 @@
+// Mini-Ligra applications: BFS, SSSP (Bellman-Ford), PageRank and
+// collaborative filtering — the four workloads of Fig. 10, implemented
+// with the same semantics as their CoSPARSE counterparts so results can be
+// cross-checked bit-for-bit (BFS/SSSP) or to tight numerical tolerance
+// (PR/CF).
+//
+// These run *natively on the host* and are wall-clock timed; energy is
+// wall time x the Xeon E7-4860 package power (see baselines/power.h and
+// DESIGN.md §2 on this substitution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/ligra/ligra_graph.h"
+
+namespace cosparse::baselines::ligra {
+
+struct LigraRunCosts {
+  double seconds = 0.0;
+  double joules = 0.0;
+  std::uint32_t iterations = 0;
+};
+
+struct LigraBfsResult {
+  std::vector<std::int64_t> parent;  ///< -1 when unreached
+  std::vector<std::int64_t> level;   ///< -1 when unreached
+  LigraRunCosts costs;
+};
+
+LigraBfsResult ligra_bfs(const LigraGraph& g, Index source,
+                         unsigned threads = 0);
+
+struct LigraSsspResult {
+  std::vector<double> dist;  ///< +inf when unreached
+  LigraRunCosts costs;
+};
+
+LigraSsspResult ligra_sssp(const LigraGraph& g, Index source,
+                           unsigned threads = 0);
+
+struct LigraPrResult {
+  std::vector<double> rank;
+  double residual = 0.0;
+  LigraRunCosts costs;
+};
+
+LigraPrResult ligra_pagerank(const LigraGraph& g, double damping = 0.85,
+                             double tolerance = 1e-7,
+                             std::uint32_t max_iterations = 20,
+                             unsigned threads = 0);
+
+struct LigraCcResult {
+  std::vector<Index> component;
+  std::uint32_t num_components = 0;
+  LigraRunCosts costs;
+};
+
+/// Label-propagation connected components (expects a symmetric graph,
+/// matching graph::connected_components).
+LigraCcResult ligra_cc(const LigraGraph& g, unsigned threads = 0);
+
+struct LigraCfResult {
+  std::vector<double> latent;
+  std::vector<double> loss_per_iteration;
+  LigraRunCosts costs;
+};
+
+/// Matches graph::cf (same initialization formula and seed semantics).
+LigraCfResult ligra_cf(const LigraGraph& g, std::uint32_t iterations = 10,
+                       double lambda = 0.05, double beta = 0.01,
+                       std::uint64_t seed = 1, unsigned threads = 0);
+
+}  // namespace cosparse::baselines::ligra

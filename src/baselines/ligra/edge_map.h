@@ -1,0 +1,137 @@
+// Mini-Ligra: edgeMap with push/pull direction switching.
+//
+// Semantics follow Ligra (PPoPP'13):
+//   * F.update(u, v, w)        — sequential-context edge update; returns
+//                                 true if v should join the output frontier;
+//   * F.update_atomic(u, v, w) — thread-safe variant used by the push
+//                                 direction;
+//   * F.cond(v)            — destination filter; pull skips (and push
+//                            drops) vertices failing it.
+//
+// Direction choice (paper §II-A): Ligra switches to the dense/pull
+// traversal when |frontier| + sum(out-degree(frontier)) > |E| / 20.
+// The pull direction additionally early-exits a vertex's in-edge scan once
+// cond(v) flips false (BFS's key optimization).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/ligra/ligra_graph.h"
+#include "baselines/ligra/vertex_subset.h"
+
+namespace cosparse::baselines::ligra {
+
+struct EdgeMapOptions {
+  unsigned threads = 0;              ///< 0: hardware_concurrency
+  double threshold_fraction = 0.05;  ///< |E|/20
+  bool force_dense = false;
+  bool force_sparse = false;
+};
+
+namespace detail {
+
+inline unsigned resolve_threads(unsigned t) {
+  return t != 0 ? t : std::max(1u, std::thread::hardware_concurrency());
+}
+
+template <class Body>
+void parallel_blocks(std::size_t count, unsigned threads, Body&& body) {
+  threads = resolve_threads(threads);
+  if (threads <= 1 || count < 2 * threads) {
+    body(0, count, 0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t per = (count + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t b = std::min(count, static_cast<std::size_t>(t) * per);
+    const std::size_t e = std::min(count, b + per);
+    if (b < e) pool.emplace_back([&body, b, e, t] { body(b, e, t); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace detail
+
+/// Number of frontier vertices plus their out-edges — Ligra's density
+/// statistic.
+inline std::size_t frontier_work(const LigraGraph& g, VertexSubset& frontier) {
+  if (frontier.is_dense()) {
+    std::size_t work = 0;
+    const auto& flags = frontier.dense_flags();
+    for (Index v = 0; v < g.n; ++v) {
+      if (flags[v]) work += 1 + g.out_degree(v);
+    }
+    return work;
+  }
+  std::size_t work = 0;
+  for (Index v : frontier.sparse_ids()) work += 1 + g.out_degree(v);
+  return work;
+}
+
+template <class F>
+VertexSubset edge_map_dense(const LigraGraph& g, VertexSubset& frontier,
+                            F&& f, const EdgeMapOptions& opts) {
+  frontier.to_dense();
+  const auto& in_frontier = frontier.dense_flags();
+  std::vector<std::uint8_t> next(g.n, 0);
+  detail::parallel_blocks(
+      g.n, opts.threads,
+      [&](std::size_t v0, std::size_t v1, unsigned) {
+        for (Index v = static_cast<Index>(v0); v < v1; ++v) {
+          if (!f.cond(v)) continue;
+          for (Offset k = g.in.row_begin(v); k < g.in.row_end(v); ++k) {
+            const Index u = g.in.col_idx()[k];
+            if (!in_frontier[u]) continue;
+            if (f.update(u, v, g.in.values()[k])) next[v] = 1;
+            if (!f.cond(v)) break;  // Ligra's pull early exit
+          }
+        }
+      });
+  return VertexSubset::from_dense(std::move(next));
+}
+
+template <class F>
+VertexSubset edge_map_sparse(const LigraGraph& g, VertexSubset& frontier,
+                             F&& f, const EdgeMapOptions& opts) {
+  frontier.to_sparse();
+  const auto& ids = frontier.sparse_ids();
+  const unsigned threads = detail::resolve_threads(opts.threads);
+  std::vector<std::vector<Index>> local(threads);
+  detail::parallel_blocks(
+      ids.size(), opts.threads,
+      [&](std::size_t i0, std::size_t i1, unsigned tid) {
+        auto& mine = local[tid];
+        for (std::size_t i = i0; i < i1; ++i) {
+          const Index u = ids[i];
+          for (Offset k = g.out.row_begin(u); k < g.out.row_end(u); ++k) {
+            const Index v = g.out.col_idx()[k];
+            if (f.cond(v) && f.update_atomic(u, v, g.out.values()[k])) {
+              mine.push_back(v);
+            }
+          }
+        }
+      });
+  std::vector<Index> merged;
+  for (auto& l : local) merged.insert(merged.end(), l.begin(), l.end());
+  return VertexSubset::from_sparse(g.n, std::move(merged));
+}
+
+template <class F>
+VertexSubset edge_map(const LigraGraph& g, VertexSubset& frontier, F&& f,
+                      const EdgeMapOptions& opts = {}) {
+  if (frontier.empty()) return VertexSubset::from_sparse(g.n, {});
+  const std::size_t work = frontier_work(g, frontier);
+  const bool dense =
+      opts.force_dense ||
+      (!opts.force_sparse &&
+       static_cast<double>(work) >
+           opts.threshold_fraction * static_cast<double>(g.m));
+  return dense ? edge_map_dense(g, frontier, std::forward<F>(f), opts)
+               : edge_map_sparse(g, frontier, std::forward<F>(f), opts);
+}
+
+}  // namespace cosparse::baselines::ligra

@@ -1,0 +1,33 @@
+// Mini-Ligra: graph representation.
+//
+// A faithful reimplementation of the data layout Ligra (Shun & Blelloch,
+// PPoPP'13) uses for its shared-memory framework: CSR of out-edges for the
+// sparse (push) direction and CSR of in-edges for the dense (pull)
+// direction, both resident — the same "keep both orientations" trade
+// CoSPARSE makes with its COO+CSC copies.
+#pragma once
+
+#include "sparse/formats.h"
+
+namespace cosparse::baselines::ligra {
+
+struct LigraGraph {
+  Index n = 0;
+  std::size_t m = 0;
+  sparse::Csr out;  ///< out-edges: push direction
+  sparse::Csr in;   ///< in-edges: pull direction (CSR of the transpose)
+
+  static LigraGraph build(const sparse::Coo& adjacency) {
+    LigraGraph g;
+    g.n = adjacency.rows();
+    g.m = adjacency.nnz();
+    g.out = sparse::coo_to_csr(adjacency);
+    g.in = sparse::coo_to_csr(sparse::transpose(adjacency));
+    return g;
+  }
+
+  [[nodiscard]] Index out_degree(Index v) const { return out.row_nnz(v); }
+  [[nodiscard]] Index in_degree(Index v) const { return in.row_nnz(v); }
+};
+
+}  // namespace cosparse::baselines::ligra

@@ -1,0 +1,102 @@
+// Mini-Ligra: the vertexSubset abstraction.
+//
+// A frontier is either a sparse list of vertex ids or a dense flag array;
+// edge_map converts between the two based on the |E|/20 threshold exactly
+// as Ligra does (paper §II-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cosparse::baselines::ligra {
+
+class VertexSubset {
+ public:
+  VertexSubset() = default;
+
+  static VertexSubset single(Index n, Index v) {
+    VertexSubset s;
+    s.n_ = n;
+    s.sparse_ = {v};
+    s.is_dense_ = false;
+    return s;
+  }
+
+  static VertexSubset from_sparse(Index n, std::vector<Index> vertices) {
+    VertexSubset s;
+    s.n_ = n;
+    s.sparse_ = std::move(vertices);
+    s.is_dense_ = false;
+    return s;
+  }
+
+  static VertexSubset from_dense(std::vector<std::uint8_t> flags) {
+    VertexSubset s;
+    s.n_ = static_cast<Index>(flags.size());
+    s.dense_ = std::move(flags);
+    s.is_dense_ = true;
+    s.count_ = 0;
+    for (auto f : s.dense_) s.count_ += f ? 1u : 0u;
+    return s;
+  }
+
+  [[nodiscard]] Index dimension() const { return n_; }
+  [[nodiscard]] bool is_dense() const { return is_dense_; }
+  [[nodiscard]] std::size_t size() const {
+    return is_dense_ ? count_ : sparse_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] const std::vector<Index>& sparse_ids() const {
+    COSPARSE_CHECK(!is_dense_);
+    return sparse_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& dense_flags() const {
+    COSPARSE_CHECK(is_dense_);
+    return dense_;
+  }
+
+  /// In-place representation changes (Ligra's toDense/toSparse).
+  void to_dense() {
+    if (is_dense_) return;
+    dense_.assign(n_, 0);
+    for (Index v : sparse_) dense_[v] = 1;
+    count_ = sparse_.size();
+    sparse_.clear();
+    is_dense_ = true;
+  }
+
+  void to_sparse() {
+    if (!is_dense_) return;
+    sparse_.clear();
+    sparse_.reserve(count_);
+    for (Index v = 0; v < n_; ++v) {
+      if (dense_[v]) sparse_.push_back(v);
+    }
+    dense_.clear();
+    count_ = 0;
+    is_dense_ = false;
+  }
+
+  /// Membership test valid in either representation (O(size) when sparse —
+  /// only used by tests).
+  [[nodiscard]] bool contains(Index v) const {
+    if (is_dense_) return dense_[v] != 0;
+    for (Index u : sparse_) {
+      if (u == v) return true;
+    }
+    return false;
+  }
+
+ private:
+  Index n_ = 0;
+  bool is_dense_ = false;
+  std::vector<Index> sparse_;
+  std::vector<std::uint8_t> dense_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cosparse::baselines::ligra

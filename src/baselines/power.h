@@ -1,0 +1,28 @@
+// Power/area constants for the platform comparisons (Figs. 8 and 10).
+//
+// The paper measures wall power on real silicon; none of those machines
+// exist in this environment, so energy for the host-measured baselines is
+// `wall_time x representative package power`. Constants are public
+// datasheet numbers for the paper's exact parts, documented per entry.
+// Every comparison that uses them states so in EXPERIMENTS.md.
+#pragma once
+
+namespace cosparse::baselines {
+
+/// Intel i7-6700K (Fig. 8 CPU baseline, MKL 2018.3): 91 W TDP.
+inline constexpr double kCpuI7Watts = 91.0;
+
+/// Intel Xeon E7-4860 (Fig. 10 Ligra host, 48 cores): 130 W TDP per socket.
+inline constexpr double kXeonWatts = 130.0;
+
+/// NVIDIA Tesla V100 (Fig. 8 GPU baseline, cuSPARSE): 250 W TDP (PCIe).
+inline constexpr double kGpuV100Watts = 250.0;
+
+/// V100 HBM2 peak bandwidth in bytes/second.
+inline constexpr double kGpuV100BandwidthBps = 900e9;
+
+/// Approximate die areas (mm^2) behind the paper's "40x more area" remark.
+inline constexpr double kXeonAreaMm2 = 513.0;
+inline constexpr double kTransmuterAreaMm2 = 12.6;  ///< 40 nm prototype-class
+
+}  // namespace cosparse::baselines

@@ -1,0 +1,156 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cosparse {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.is_flag = true;
+  opt.value = "false";
+  options_.emplace(name, std::move(opt));
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  Option opt;
+  opt.help = help;
+  opt.value = default_value;
+  options_.emplace(name, std::move(opt));
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(),
+                   name.c_str());
+      print_usage();
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      opt.value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: option --%s expects a value\n",
+                       program_.c_str(), name.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      opt.value = value;
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name) const {
+  auto it = options_.find(name);
+  COSPARSE_CHECK_MSG(it != options_.end(), "option --" << name
+                                                       << " was never registered");
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  return lookup(name).value == "true";
+}
+
+std::string CliParser::str(const std::string& name) const {
+  return lookup(name).value;
+}
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": '" + v + "' is not an integer");
+  }
+}
+
+double CliParser::real(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": '" + v + "' is not a number");
+  }
+}
+
+std::vector<std::string> CliParser::str_list(const std::string& name) const {
+  std::vector<std::string> out;
+  std::stringstream ss(lookup(name).value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> CliParser::int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  for (const auto& s : str_list(name)) {
+    try {
+      out.push_back(std::stoll(s));
+    } catch (const std::exception&) {
+      throw Error("option --" + name + ": '" + s + "' is not an integer");
+    }
+  }
+  return out;
+}
+
+std::vector<double> CliParser::real_list(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& s : str_list(name)) {
+    try {
+      out.push_back(std::stod(s));
+    } catch (const std::exception&) {
+      throw Error("option --" + name + ": '" + s + "' is not a number");
+    }
+  }
+  return out;
+}
+
+void CliParser::print_usage() const {
+  std::fprintf(stderr, "%s — %s\n\nOptions:\n", program_.c_str(),
+               description_.c_str());
+  for (const auto& [name, opt] : options_) {
+    if (opt.is_flag) {
+      std::fprintf(stderr, "  --%-22s %s\n", name.c_str(), opt.help.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-22s %s (default: %s)\n",
+                   (name + " <v>").c_str(), opt.help.c_str(),
+                   opt.value.c_str());
+    }
+  }
+}
+
+}  // namespace cosparse

@@ -1,0 +1,61 @@
+// Tiny command-line parser used by benchmarks and examples.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms, plus
+// automatic `--help` text. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cosparse {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Register options before calling parse(). `help` appears in --help.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parses argv. Returns false (after printing usage) on --help or on a
+  /// malformed/unknown argument.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  /// Comma-separated list of integers, e.g. "--sizes 4,8,16".
+  [[nodiscard]] std::vector<std::int64_t> int_list(const std::string& name) const;
+  /// Comma-separated list of reals.
+  [[nodiscard]] std::vector<double> real_list(const std::string& name) const;
+  /// Comma-separated list of strings.
+  [[nodiscard]] std::vector<std::string> str_list(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  const Option& lookup(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cosparse

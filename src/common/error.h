@@ -1,0 +1,54 @@
+// Error handling: a single exception type plus CHECK-style macros.
+//
+// Following the C++ Core Guidelines (E.2/E.14) we throw exceptions for
+// runtime errors (bad input files, inconsistent matrix dimensions) and use
+// hard checks for programming-logic invariants that should never fail.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cosparse {
+
+/// Exception thrown for recoverable runtime errors (malformed input files,
+/// dimension mismatches, unknown dataset names, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* cond,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace cosparse
+
+/// Precondition / invariant check. Always on (these guard simulator and
+/// format invariants whose violation would silently corrupt results).
+#define COSPARSE_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::cosparse::detail::fail("CHECK", #cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define COSPARSE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream cosparse_os_;                                    \
+      cosparse_os_ << msg;                                                \
+      ::cosparse::detail::fail("CHECK", #cond, __FILE__, __LINE__,        \
+                               cosparse_os_.str());                       \
+    }                                                                     \
+  } while (0)
+
+/// Validation of external input; reads as "require this of the caller/file".
+#define COSPARSE_REQUIRE(cond, msg) COSPARSE_CHECK_MSG(cond, msg)

@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace cosparse::log {
+namespace {
+
+std::atomic<Level> g_threshold{Level::kInfo};
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void write(Level level, std::string_view msg) {
+  std::fprintf(stderr, "[cosparse %s] %.*s\n", tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace cosparse::log

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Benchmarks and examples print structured tables
+// through common/table.h; this logger is for diagnostics only.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace cosparse::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+void write(Level level, std::string_view msg);
+
+namespace detail {
+
+template <class... Args>
+void emit(Level level, Args&&... args) {
+  if (level < threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(level, os.str());
+}
+
+}  // namespace detail
+
+template <class... Args>
+void debug(Args&&... args) {
+  detail::emit(Level::kDebug, std::forward<Args>(args)...);
+}
+template <class... Args>
+void info(Args&&... args) {
+  detail::emit(Level::kInfo, std::forward<Args>(args)...);
+}
+template <class... Args>
+void warn(Args&&... args) {
+  detail::emit(Level::kWarn, std::forward<Args>(args)...);
+}
+template <class... Args>
+void error(Args&&... args) {
+  detail::emit(Level::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace cosparse::log

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for host-side baseline timing (mini-Ligra, native
+// CPU SpMV). Simulated components report cycles instead — see sim/stats.h.
+#pragma once
+
+#include <chrono>
+
+namespace cosparse {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cosparse

@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cosparse {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  COSPARSE_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  COSPARSE_CHECK_MSG(row.size() == header_.size(),
+                     "row arity " << row.size() << " != header arity "
+                                  << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_ratio(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v << "x";
+  return os.str();
+}
+
+std::string Table::fmt_pct(double frac) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << frac * 100.0 << "%";
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open CSV output file: " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace cosparse

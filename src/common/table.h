@@ -1,0 +1,37 @@
+// Plain-text table printer for benchmark output.
+//
+// Every figure/table reproduction prints its rows/series in the same layout
+// the paper uses; this helper keeps columns aligned and emits an optional
+// CSV mirror for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cosparse {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience formatting helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_ratio(double v);     // e.g. "2.04x"
+  static std::string fmt_pct(double frac);    // e.g. "12.3%"
+
+  void print(std::ostream& os) const;
+  /// Writes header+rows as CSV (no alignment padding).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cosparse

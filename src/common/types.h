@@ -1,0 +1,37 @@
+// Fundamental scalar types used across the CoSPARSE reproduction.
+//
+// The paper operates on graph adjacency matrices with up to a few million
+// vertices and tens of millions of edges; 32-bit indices suffice for the
+// evaluated datasets, while cycle/energy accounting needs 64 bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cosparse {
+
+/// Vertex / row / column index. 32-bit: the largest evaluated graph
+/// (livejournal, 4.8M vertices) fits comfortably.
+using Index = std::uint32_t;
+
+/// Offset into a non-zero array (up to ~69M edges in livejournal, plus
+/// headroom for synthetic sweeps).
+using Offset = std::uint64_t;
+
+/// Numeric value of a matrix/vector element. Graph analytics in the paper
+/// (BFS/SSSP levels and distances, PageRank scores, CF latent factors) are
+/// all representable in double precision without surprises.
+using Value = double;
+
+/// Simulated clock cycles (1 GHz PEs, so 1 cycle == 1 ns).
+using Cycles = std::uint64_t;
+
+/// Simulated energy in picojoules.
+using Picojoules = double;
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace cosparse

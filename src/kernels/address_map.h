@@ -1,0 +1,37 @@
+// Maps host arrays to stable simulated physical addresses.
+//
+// Kernels run functionally on host data but charge timing against simulated
+// addresses. An AddressMap assigns each distinct host array a line-aligned
+// range in the machine's address space, memoized by pointer so that the
+// same matrix keeps the same addresses across iterations (preserving
+// inter-iteration cache residency where it physically would exist).
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/machine.h"
+
+namespace cosparse::kernels {
+
+class AddressMap {
+ public:
+  explicit AddressMap(sim::Machine& machine) : machine_(&machine) {}
+
+  /// Address of the first byte of the array identified by `host`.
+  Addr of(const void* host, std::size_t bytes, std::string_view label = "") {
+    auto it = map_.find(host);
+    if (it != map_.end()) return it->second;
+    const Addr a = machine_->alloc(bytes, label);
+    map_.emplace(host, a);
+    return a;
+  }
+
+  [[nodiscard]] sim::Machine& machine() const { return *machine_; }
+
+ private:
+  sim::Machine* machine_;
+  std::unordered_map<const void*, Addr> map_;
+};
+
+}  // namespace cosparse::kernels

@@ -1,0 +1,73 @@
+// Dense frontier encoding used by the inner-product dataflow.
+//
+// A dense frontier is a value array plus a validity bitmap (one bit per
+// vertex in hardware; a byte per vertex on the host for speed). The IP
+// kernel checks the bitmap before loading the 8-byte value, which is what
+// makes the SCS-vs-SC trade-off density-dependent (paper Fig. 5): the
+// value-load traffic scales with frontier density, while the bitmap stream
+// is small and caches well.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/vector.h"
+
+namespace cosparse::kernels {
+
+struct DenseFrontier {
+  sparse::DenseVector values;
+  std::vector<std::uint8_t> active;  ///< 1 if the vertex is in the frontier
+  std::size_t num_active = 0;
+
+  DenseFrontier() = default;
+  /// All-inactive frontier of the given dimension, values at `identity`.
+  DenseFrontier(Index dimension, Value identity)
+      : values(dimension, identity), active(dimension, 0) {}
+
+  [[nodiscard]] Index dimension() const { return values.dimension(); }
+  [[nodiscard]] double density() const {
+    return dimension() == 0 ? 0.0
+                            : static_cast<double>(num_active) /
+                                  static_cast<double>(dimension());
+  }
+  [[nodiscard]] bool all_active() const {
+    return num_active == dimension() && dimension() > 0;
+  }
+
+  void set(Index i, Value v) {
+    if (!active[i]) {
+      active[i] = 1;
+      ++num_active;
+    }
+    values[i] = v;
+  }
+
+  /// Builds a dense frontier from a sparse one; inactive slots hold
+  /// `identity`.
+  static DenseFrontier from_sparse(const sparse::SparseVector& sv,
+                                   Value identity) {
+    DenseFrontier f(sv.dimension(), identity);
+    for (const auto& e : sv.entries()) f.set(e.index, e.value);
+    return f;
+  }
+
+  /// Builds an all-active frontier from a plain dense vector.
+  static DenseFrontier from_dense(const sparse::DenseVector& v) {
+    DenseFrontier f;
+    f.values = v;
+    f.active.assign(v.dimension(), 1);
+    f.num_active = v.dimension();
+    return f;
+  }
+
+  [[nodiscard]] sparse::SparseVector to_sparse() const {
+    sparse::SparseVector sv(dimension());
+    for (Index i = 0; i < dimension(); ++i) {
+      if (active[i]) sv.push_back(i, values[i]);
+    }
+    return sv;
+  }
+};
+
+}  // namespace cosparse::kernels

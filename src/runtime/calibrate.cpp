@@ -1,0 +1,127 @@
+#include "runtime/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "kernels/address_map.h"
+#include "kernels/frontier.h"
+#include "kernels/ip_spmv.h"
+#include "kernels/op_spmv.h"
+#include "kernels/partition.h"
+#include "kernels/semiring.h"
+#include "sparse/generate.h"
+
+namespace cosparse::runtime {
+namespace {
+
+/// Shared state for a calibration run: the synthetic matrix in both kernel
+/// layouts, built once.
+struct CalibrationContext {
+  sparse::Coo matrix;
+  kernels::IpPartitionedMatrix ip_layout;
+  kernels::OpStripedMatrix op_layout;
+
+  CalibrationContext(const sim::SystemConfig& cfg,
+                     const CalibrationOptions& opts)
+      : matrix(sparse::uniform_random(opts.dimension, opts.dimension,
+                                      opts.nnz, opts.seed,
+                                      sparse::ValueDist::kUniform01)),
+        ip_layout(kernels::IpPartitionedMatrix::build(matrix, cfg.num_pes(),
+                                                      /*vblock_cols=*/0)),
+        op_layout(kernels::OpStripedMatrix::build(matrix, cfg.num_tiles)) {}
+};
+
+CvdSample measure(const sim::SystemConfig& cfg,
+                  const CalibrationContext& ctx, double density,
+                  std::uint64_t seed) {
+  CvdSample s;
+  s.density = density;
+  const auto xs = sparse::random_sparse_vector(ctx.matrix.rows(), density,
+                                               seed);
+  const auto xf = kernels::DenseFrontier::from_sparse(xs, 0.0);
+  const kernels::PlainSpmv sr;
+  {
+    sim::Machine m(cfg, sim::HwConfig::kSC);
+    kernels::AddressMap amap(m);
+    kernels::run_inner_product(m, amap, ctx.ip_layout, xf, sr);
+    s.ip_cycles = m.cycles();
+  }
+  {
+    sim::Machine m(cfg, sim::HwConfig::kPC);
+    kernels::AddressMap amap(m);
+    kernels::run_outer_product(m, amap, ctx.op_layout, xs, nullptr, sr);
+    s.op_cycles = m.cycles();
+  }
+  return s;
+}
+
+}  // namespace
+
+CvdSample measure_crossover_sample(const sim::SystemConfig& cfg,
+                                   double density,
+                                   const CalibrationOptions& opts) {
+  const CalibrationContext ctx(cfg, opts);
+  return measure(cfg, ctx, density, opts.seed ^ 0x5bd1e995ULL);
+}
+
+CvdCalibration calibrate_cvd(const sim::SystemConfig& cfg,
+                             CalibrationOptions opts) {
+  COSPARSE_REQUIRE(opts.density_lo > 0 && opts.density_hi > opts.density_lo &&
+                       opts.density_hi <= 1.0,
+                   "calibration density bracket invalid");
+  const CalibrationContext ctx(cfg, opts);
+  CvdCalibration cal;
+
+  auto probe = [&](double d) {
+    const CvdSample s = measure(cfg, ctx, d, opts.seed ^ 0x9e3779b9ULL);
+    cal.samples.push_back(s);
+    return s.ratio();  // > 1: OP faster (keep OP below this density)
+  };
+
+  double lo = opts.density_lo, hi = opts.density_hi;
+  const double r_lo = probe(lo);
+  const double r_hi = probe(hi);
+  if (r_lo <= 1.0) {
+    // IP already wins at the sparse edge: crossover below the bracket.
+    cal.cvd = lo;
+    return cal;
+  }
+  if (r_hi >= 1.0) {
+    // OP still wins at the dense edge: crossover above the bracket.
+    cal.cvd = hi;
+    return cal;
+  }
+  // Log-scale bisection on the ratio's crossing of 1.0.
+  for (std::uint32_t step = 0; step < opts.refinement_steps; ++step) {
+    const double mid = std::sqrt(lo * hi);
+    if (probe(mid) > 1.0) {
+      lo = mid;  // OP still winning: crossover is denser
+    } else {
+      hi = mid;
+    }
+  }
+  cal.cvd = std::sqrt(lo * hi);
+  return cal;
+}
+
+Thresholds calibrate_thresholds(const sim::SystemConfig& cfg,
+                                CalibrationOptions opts) {
+  const CvdCalibration cal = calibrate_cvd(cfg, opts);
+  Thresholds t;
+  // Invert the model cvd = coeff / P * (r_ref / r)^alpha at the synthetic
+  // matrix's density to recover the coefficient.
+  const double r = static_cast<double>(opts.nnz) /
+                   (static_cast<double>(opts.dimension) *
+                    static_cast<double>(opts.dimension));
+  const double correction =
+      std::pow(t.matrix_density_reference / r, t.matrix_density_exponent);
+  t.cvd_coefficient =
+      cal.cvd * static_cast<double>(cfg.pes_per_tile) / correction;
+  // Widen the clamps so the measured point is representable.
+  t.cvd_min = std::min(t.cvd_min, cal.cvd / 4.0);
+  t.cvd_max = std::max(t.cvd_max, cal.cvd * 4.0);
+  return t;
+}
+
+}  // namespace cosparse::runtime

@@ -1,0 +1,64 @@
+// Empirical threshold calibration (paper §III-C: "The thresholds used at
+// each level of the reconfiguration decision tree is based on extensive
+// experiments and analysis").
+//
+// The shipped Thresholds encode the paper's published operating points
+// (2% -> 0.5% CVD as PEs/tile grow). For a *different* system configuration
+// — other bank sizes, clock ratios, DRAM — those constants may be off;
+// this module re-derives the crossover vector density by actually running
+// both kernels on a synthetic matrix and bisecting for the break-even
+// density, then fits the Thresholds model to the measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/decision.h"
+#include "sim/config.h"
+
+namespace cosparse::runtime {
+
+struct CvdSample {
+  double density = 0.0;
+  Cycles ip_cycles = 0;  ///< inner product in SC
+  Cycles op_cycles = 0;  ///< outer product in PC
+  [[nodiscard]] double ratio() const {
+    return op_cycles == 0 ? 0.0
+                          : static_cast<double>(ip_cycles) /
+                                static_cast<double>(op_cycles);
+  }
+};
+
+struct CvdCalibration {
+  /// Break-even frontier density: IP wins above, OP below.
+  double cvd = 0.0;
+  /// Every (density, IP, OP) measurement taken during the search.
+  std::vector<CvdSample> samples;
+};
+
+struct CalibrationOptions {
+  Index dimension = 65536;        ///< synthetic matrix dimension
+  std::uint64_t nnz = 2097152;    ///< synthetic matrix non-zeros
+  std::uint64_t seed = 424242;
+  double density_lo = 1e-3;       ///< initial bracket (OP expected to win)
+  double density_hi = 0.32;       ///< initial bracket (IP expected to win)
+  std::uint32_t refinement_steps = 5;  ///< log-scale bisection steps
+};
+
+/// Measures one (IP, OP) pair at the given frontier density.
+CvdSample measure_crossover_sample(const sim::SystemConfig& cfg,
+                                   double density,
+                                   const CalibrationOptions& opts = {});
+
+/// Finds the crossover density by log-scale bisection. If one kernel wins
+/// across the whole bracket, the corresponding bracket edge is returned.
+CvdCalibration calibrate_cvd(const sim::SystemConfig& cfg,
+                             CalibrationOptions opts = {});
+
+/// Returns the default Thresholds with `cvd_coefficient` refitted so that
+/// cvd(pes_per_tile, measured matrix density) equals the measured
+/// crossover (clamps widened to admit the measurement).
+Thresholds calibrate_thresholds(const sim::SystemConfig& cfg,
+                                CalibrationOptions opts = {});
+
+}  // namespace cosparse::runtime

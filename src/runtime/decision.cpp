@@ -1,0 +1,65 @@
+#include "runtime/decision.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/op_spmv.h"
+
+namespace cosparse::runtime {
+
+const char* to_string(SwConfig c) {
+  return c == SwConfig::kIP ? "IP" : "OP";
+}
+
+double Thresholds::cvd(std::uint32_t pes_per_tile,
+                       double matrix_density) const {
+  double v = cvd_coefficient / static_cast<double>(pes_per_tile);
+  if (matrix_density > 0.0) {
+    // Sparser matrix -> less IP vector reuse -> CVD rises slightly
+    // (paper §III-C.1).
+    v *= std::pow(matrix_density_reference / matrix_density,
+                  matrix_density_exponent);
+  }
+  return std::clamp(v, cvd_min, cvd_max);
+}
+
+sim::HwConfig DecisionEngine::decide_hw(SwConfig sw, Index dimension,
+                                        std::size_t frontier_nnz) const {
+  if (sw == SwConfig::kIP) {
+    const double density =
+        dimension == 0 ? 0.0
+                       : static_cast<double>(frontier_nnz) /
+                             static_cast<double>(dimension);
+    // Vector footprint: 8 B values + 1 bit of bitmap per vertex.
+    const auto footprint = static_cast<std::size_t>(dimension) * 8 +
+                           static_cast<std::size_t>(dimension) / 8;
+    const bool fits_in_l1 = footprint <= cfg_.l1_bytes_per_tile();
+    if (!fits_in_l1 && density >= thresholds_.scs_density) {
+      return sim::HwConfig::kSCS;
+    }
+    return sim::HwConfig::kSC;
+  }
+  // Outer product: size of the per-PE sorted list of column heads.
+  const std::size_t per_pe =
+      (frontier_nnz + cfg_.pes_per_tile - 1) / cfg_.pes_per_tile;
+  const auto list_bytes = per_pe * kernels::kHeapNodeBytes;
+  const bool fits = static_cast<double>(list_bytes) <=
+                    thresholds_.ps_list_fraction *
+                        static_cast<double>(cfg_.bank_bytes);
+  return fits ? sim::HwConfig::kPC : sim::HwConfig::kPS;
+}
+
+Decision DecisionEngine::decide(Index dimension, double matrix_density,
+                                std::size_t frontier_nnz) const {
+  Decision d;
+  d.vector_density = dimension == 0
+                         ? 0.0
+                         : static_cast<double>(frontier_nnz) /
+                               static_cast<double>(dimension);
+  d.cvd = thresholds_.cvd(cfg_.pes_per_tile, matrix_density);
+  d.sw = d.vector_density >= d.cvd ? SwConfig::kIP : SwConfig::kOP;
+  d.hw = decide_hw(d.sw, dimension, frontier_nnz);
+  return d;
+}
+
+}  // namespace cosparse::runtime

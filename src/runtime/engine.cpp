@@ -1,0 +1,138 @@
+#include "runtime/engine.h"
+
+namespace cosparse::runtime {
+namespace {
+
+/// vblock width (in columns) such that one vblock's 8-byte value segment
+/// fits in the tile's SCS scratchpad (the frontier bitmap stays cached).
+Index vblock_cols_for(const sim::SystemConfig& cfg) {
+  const double spm = static_cast<double>(cfg.scs_spm_bytes_per_tile());
+  const auto cols = static_cast<Index>(spm / 8.0);
+  // Round down to a multiple of 64 so vblock boundaries are line-aligned
+  // (keeps DMA fills and bitmap words from straddling blocks).
+  return std::max<Index>(64, cols / 64 * 64);
+}
+
+}  // namespace
+
+Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
+               EngineOptions opts)
+    : opts_(opts),
+      machine_(cfg, opts.fixed_hw.value_or(sim::HwConfig::kSC)),
+      amap_(machine_),
+      decider_(cfg, opts.thresholds) {
+  // f_next = SpMV(G^T, f): build the resident copies of G^T. SC streams a
+  // plain nnz-balanced layout; SCS additionally needs vblocking so vector
+  // segments fit the scratchpad (the SC/SCS trade-off of Fig. 5 hinges on
+  // exactly this difference).
+  const sparse::Coo mt = sparse::transpose(adjacency);
+  matrix_density_ = mt.density();
+  ip_matrix_sc_ = kernels::IpPartitionedMatrix::build(mt, cfg.num_pes(), 0,
+                                                      opts_.nnz_balanced);
+  const Index vb = opts_.vblocked ? vblock_cols_for(cfg) : 0;
+  ip_matrix_scs_ = kernels::IpPartitionedMatrix::build(mt, cfg.num_pes(), vb,
+                                                       opts_.nnz_balanced);
+  op_matrix_ =
+      kernels::OpStripedMatrix::build(mt, cfg.num_tiles, opts_.nnz_balanced);
+}
+
+Decision Engine::resolve_decision(std::size_t frontier_nnz) const {
+  Decision d;
+  if (opts_.sw_reconfig) {
+    d = decider_.decide(dimension(), matrix_density_, frontier_nnz);
+  } else {
+    d.sw = opts_.fixed_sw;
+    d.vector_density = dimension() == 0
+                           ? 0.0
+                           : static_cast<double>(frontier_nnz) /
+                                 static_cast<double>(dimension());
+    d.hw = decider_.decide_hw(d.sw, dimension(), frontier_nnz);
+  }
+  if (!opts_.hw_reconfig) {
+    // Cache-only baseline mapping unless the caller pinned a config.
+    d.hw = opts_.fixed_hw.value_or(
+        d.sw == SwConfig::kIP ? sim::HwConfig::kSC : sim::HwConfig::kPC);
+  }
+  return d;
+}
+
+void Engine::charge_vector_pass(std::size_t elements, double ops_per_element,
+                                std::uint32_t bytes_per_element) {
+  if (elements == 0) return;
+  const std::uint32_t pes = machine_.num_pes();
+  const std::size_t per_pe = (elements + pes - 1) / pes;
+  // Streaming pass: ALU ops charged per element; memory traffic is
+  // sequential, so it moves at prefetched-stream cost — modeled as DMA
+  // traffic plus 2 issue cycles per element.
+  for (std::uint32_t pe = 0; pe < pes; ++pe) {
+    const std::size_t mine =
+        std::min(per_pe, elements - std::min(elements,
+                                             static_cast<std::size_t>(pe) *
+                                                 per_pe));
+    if (mine == 0) break;
+    machine_.compute(pe, static_cast<double>(mine) * (ops_per_element + 2.0));
+  }
+  machine_.dma_traffic(elements * bytes_per_element, /*write=*/false);
+  machine_.dma_traffic(elements * bytes_per_element, /*write=*/true);
+  machine_.global_barrier();
+}
+
+kernels::DenseFrontier Engine::convert_to_dense(
+    const sparse::SparseVector& sv, Value identity, Cycles* cost) {
+  const Cycles start = machine_.cycles();
+  kernels::DenseFrontier df(sv.dimension(), identity);
+  // Bulk-initialize the value array and bitmap (DMA), then scatter the
+  // entries across the PEs.
+  machine_.dma_traffic(static_cast<std::size_t>(sv.dimension()) * 8 +
+                           sv.dimension() / 8,
+                       /*write=*/true);
+  const std::uint32_t pes = machine_.num_pes();
+  const std::size_t per_pe = (sv.nnz() + pes - 1) / pes;
+  for (std::size_t k = 0; k < sv.nnz(); ++k) {
+    const auto pe = static_cast<std::uint32_t>(per_pe == 0 ? 0 : k / per_pe);
+    machine_.compute(pe, 2);  // entry decode + bit set
+  }
+  // Entry stream reads + scattered value/bit writes.
+  machine_.dma_traffic(sv.nnz() * 12, /*write=*/false);
+  machine_.dma_traffic(sv.nnz() * 9, /*write=*/true);
+  for (const auto& e : sv.entries()) df.set(e.index, e.value);
+  machine_.global_barrier();
+  if (cost != nullptr) *cost = machine_.cycles() - start;
+  return df;
+}
+
+sparse::SparseVector Engine::convert_to_sparse(
+    const kernels::DenseFrontier& df, Cycles* cost) {
+  const Cycles start = machine_.cycles();
+  // Scan the bitmap (one 64-bit word covers 64 vertices), emit entries for
+  // set bits. Per-PE ranges keep the output ordered.
+  const std::uint32_t pes = machine_.num_pes();
+  const Index n = df.dimension();
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  const std::size_t words_per_pe = (words + pes - 1) / pes;
+  for (std::uint32_t pe = 0; pe < pes; ++pe) {
+    const std::size_t mine = std::min(
+        words_per_pe,
+        words - std::min(words, static_cast<std::size_t>(pe) * words_per_pe));
+    if (mine == 0) break;
+    machine_.compute(pe, static_cast<double>(mine) * 2.0);
+  }
+  machine_.dma_traffic(words * 8, /*write=*/false);   // bitmap scan
+  machine_.dma_traffic(df.num_active * 8, false);     // value gather
+  machine_.dma_traffic(df.num_active * 12, true);     // entry stream out
+  // Compaction work proportional to emitted entries.
+  const std::size_t per_pe = (df.num_active + pes - 1) / pes;
+  for (std::uint32_t pe = 0; pe < pes; ++pe) {
+    const std::size_t mine =
+        std::min(per_pe, df.num_active -
+                             std::min(df.num_active,
+                                      static_cast<std::size_t>(pe) * per_pe));
+    if (mine == 0) break;
+    machine_.compute(pe, static_cast<double>(mine) * 2.0);
+  }
+  machine_.global_barrier();
+  if (cost != nullptr) *cost = machine_.cycles() - start;
+  return df.to_sparse();
+}
+
+}  // namespace cosparse::runtime

@@ -1,0 +1,239 @@
+// cosparse::runtime::Engine — the public entry point of the framework.
+//
+// An Engine owns (a) the simulated reconfigurable machine, (b) the
+// resident matrix copies (plain COO for IP/SC, vblock-ordered COO for
+// IP/SCS, row-striped CSC for OP — kept simultaneously to avoid matrix
+// relayout at reconfiguration time, paper §III-D.2), and (c) the decision
+// engine.
+// Every spmv() call runs the full per-iteration CoSPARSE flow:
+//
+//   decide SW + HW  ->  reconfigure hardware if needed (flush + <=10 cyc)
+//   ->  convert the frontier representation if the dataflow changed
+//   ->  run the chosen kernel  ->  log the iteration record.
+//
+// The engine computes f_next = SpMV(G^T, f): it transposes the adjacency
+// matrix once at construction (paper Fig. 2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "kernels/address_map.h"
+#include "kernels/frontier.h"
+#include "kernels/ip_spmv.h"
+#include "kernels/op_spmv.h"
+#include "kernels/partition.h"
+#include "runtime/decision.h"
+#include "sim/machine.h"
+#include "sparse/formats.h"
+
+namespace cosparse::runtime {
+
+struct EngineOptions {
+  /// Select IP/OP automatically per iteration (§III-C.1); when false, the
+  /// engine always uses `fixed_sw`.
+  bool sw_reconfig = true;
+  /// Select the memory configuration automatically (§III-C.2/3); when
+  /// false, IP runs in SC and OP runs in PC (the cache-only baselines),
+  /// unless `fixed_hw` is set.
+  bool hw_reconfig = true;
+  SwConfig fixed_sw = SwConfig::kIP;
+  std::optional<sim::HwConfig> fixed_hw;
+  /// Static workload balancing (nnz-balanced row partitions, §III-B);
+  /// false reproduces the naive equal-row splits of Fig. 7's baseline.
+  bool nnz_balanced = true;
+  /// Vertical blocking for IP (vblocks sized to the tile SPM).
+  bool vblocked = true;
+  Thresholds thresholds;
+};
+
+/// One row of the Fig. 9-style iteration log.
+struct IterationRecord {
+  std::uint32_t index = 0;
+  std::size_t frontier_nnz = 0;
+  double density = 0.0;
+  SwConfig sw = SwConfig::kIP;
+  sim::HwConfig hw = sim::HwConfig::kSC;
+  bool sw_switched = false;
+  bool hw_switched = false;
+  bool converted_frontier = false;
+  Cycles cycles = 0;          ///< total for the iteration (incl. overheads)
+  Cycles convert_cycles = 0;  ///< frontier format conversion share
+  Picojoules energy_pj = 0;
+};
+
+class Engine {
+ public:
+  /// A frontier in whichever representation the previous step produced.
+  struct Frontier {
+    bool dense = false;
+    kernels::DenseFrontier df;
+    sparse::SparseVector sv;
+
+    [[nodiscard]] std::size_t nnz() const {
+      return dense ? df.num_active : sv.nnz();
+    }
+    static Frontier from_dense(kernels::DenseFrontier f) {
+      Frontier fr;
+      fr.dense = true;
+      fr.df = std::move(f);
+      return fr;
+    }
+    static Frontier from_sparse(sparse::SparseVector v) {
+      Frontier fr;
+      fr.dense = false;
+      fr.sv = std::move(v);
+      return fr;
+    }
+  };
+
+  /// SpMV output in the producing kernel's natural representation.
+  struct Output {
+    bool dense = false;
+    kernels::IpResult ip;   ///< valid when dense
+    kernels::OpResult op;   ///< valid when !dense
+    Decision decision;
+
+    [[nodiscard]] std::size_t num_touched() const {
+      return dense ? ip.num_touched : op.y.nnz();
+    }
+    /// Visits every touched (row, value) pair in ascending row order.
+    template <class Fn>
+    void for_each_touched(Fn&& fn) const {
+      if (dense) {
+        for (Index r = 0; r < ip.y.dimension(); ++r) {
+          if (ip.touched[r]) fn(r, ip.y[r]);
+        }
+      } else {
+        for (const auto& e : op.y.entries()) fn(e.index, e.value);
+      }
+    }
+  };
+
+  /// `adjacency`: A with A[u][v] = weight of edge u -> v.
+  Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
+         EngineOptions opts = {});
+
+  /// The per-iteration CoSPARSE SpMV (see file comment). `dst_old` supplies
+  /// V_dst for semirings with kUsesDst (CF).
+  template <kernels::Semiring S>
+  Output spmv(const Frontier& f, const S& sr,
+              const sparse::DenseVector* dst_old = nullptr);
+
+  /// Charges a data-parallel host-side vector pass (Table I Vector_Op /
+  /// frontier apply) of `elements` items to the PEs: streaming reads and
+  /// writes of `bytes_per_element` plus `ops_per_element` ALU cycles.
+  void charge_vector_pass(std::size_t elements, double ops_per_element,
+                          std::uint32_t bytes_per_element);
+
+  [[nodiscard]] Index dimension() const { return ip_matrix_sc_.rows(); }
+  [[nodiscard]] double matrix_density() const { return matrix_density_; }
+  [[nodiscard]] const sim::SystemConfig& system() const {
+    return machine_.config();
+  }
+  [[nodiscard]] sim::Machine& machine() { return machine_; }
+  [[nodiscard]] const DecisionEngine& decisions() const { return decider_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+
+  [[nodiscard]] const std::vector<IterationRecord>& iterations() const {
+    return log_;
+  }
+  [[nodiscard]] Cycles total_cycles() const { return machine_.cycles(); }
+  [[nodiscard]] Picojoules total_energy_pj() const {
+    return machine_.energy_pj();
+  }
+  void clear_iteration_log() { log_.clear(); }
+
+ private:
+  /// Frontier conversions, charged to the machine (lightweight vector
+  /// conversion of §III-D.2). Return the converted representation.
+  kernels::DenseFrontier convert_to_dense(const sparse::SparseVector& sv,
+                                          Value identity, Cycles* cost);
+  sparse::SparseVector convert_to_sparse(const kernels::DenseFrontier& df,
+                                         Cycles* cost);
+
+  Decision resolve_decision(std::size_t frontier_nnz) const;
+
+  EngineOptions opts_;
+  sim::Machine machine_;
+  kernels::AddressMap amap_;
+  DecisionEngine decider_;
+  // Two IP layouts stay resident: SC streams plain nnz-balanced row
+  // partitions, SCS needs the vblocked ordering so the vector segment of
+  // the active vblock fits the tile scratchpad (paper Fig. 3). Keeping
+  // both avoids relayout at reconfiguration time, like the COO+CSC pair.
+  kernels::IpPartitionedMatrix ip_matrix_sc_;
+  kernels::IpPartitionedMatrix ip_matrix_scs_;
+  kernels::OpStripedMatrix op_matrix_;
+  double matrix_density_ = 0.0;
+  std::vector<IterationRecord> log_;
+  std::uint32_t next_iteration_ = 0;
+  std::optional<SwConfig> last_sw_;
+};
+
+// ---- template implementation ----
+
+template <kernels::Semiring S>
+Engine::Output Engine::spmv(const Frontier& f, const S& sr,
+                            const sparse::DenseVector* dst_old) {
+  const Cycles start_cycles = machine_.cycles();
+  const sim::Stats start_stats = machine_.stats();
+
+  IterationRecord rec;
+  rec.index = next_iteration_++;
+  rec.frontier_nnz = f.nnz();
+  rec.density = dimension() == 0 ? 0.0
+                                 : static_cast<double>(rec.frontier_nnz) /
+                                       static_cast<double>(dimension());
+
+  const Decision d = resolve_decision(rec.frontier_nnz);
+  rec.sw = d.sw;
+  rec.hw = d.hw;
+  rec.sw_switched = last_sw_.has_value() && *last_sw_ != d.sw;
+  last_sw_ = d.sw;
+
+  // Hardware reconfiguration (LCP-triggered; flush + <= 10 cycles).
+  if (machine_.hw() != d.hw) {
+    machine_.reconfigure(d.hw);
+    rec.hw_switched = true;
+  }
+
+  Output out;
+  out.decision = d;
+  if (d.sw == SwConfig::kIP) {
+    out.dense = true;
+    Cycles conv = 0;
+    const auto& layout = d.hw == sim::HwConfig::kSCS ? ip_matrix_scs_
+                                                     : ip_matrix_sc_;
+    if (f.dense) {
+      out.ip = kernels::run_inner_product(machine_, amap_, layout, f.df, sr);
+    } else {
+      const kernels::DenseFrontier df =
+          convert_to_dense(f.sv, sr.vector_identity(), &conv);
+      rec.converted_frontier = true;
+      out.ip = kernels::run_inner_product(machine_, amap_, layout, df, sr);
+    }
+    rec.convert_cycles = conv;
+  } else {
+    out.dense = false;
+    Cycles conv = 0;
+    if (f.dense) {
+      const sparse::SparseVector sv = convert_to_sparse(f.df, &conv);
+      rec.converted_frontier = true;
+      out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
+                                          dst_old, sr);
+    } else {
+      out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, f.sv,
+                                          dst_old, sr);
+    }
+    rec.convert_cycles = conv;
+  }
+
+  rec.cycles = machine_.cycles() - start_cycles;
+  rec.energy_pj = sim::EnergyModel{}.total(
+      machine_.config(), machine_.stats() - start_stats, rec.cycles);
+  log_.push_back(rec);
+  return out;
+}
+
+}  // namespace cosparse::runtime

@@ -1,0 +1,47 @@
+// Trace-based analytic model for large systems.
+//
+// The paper's methodology note (§IV-A): "For systems larger than 8x16, the
+// simulation resources required become prohibitive and a trace-based
+// simulation model is used." This module is our rendering of that second
+// model: take the event trace (Stats) and elapsed cycles measured by the
+// execution-driven simulator on a *reference* system, and extrapolate the
+// execution time on a *target* system from first-principles bounds:
+//
+//   pe bound   — total PE work (compute + memory stalls) spread over the
+//                target's PEs, with the shared-mode arbitration term
+//                re-scaled to the target's sharers/banks ratio;
+//   dram bound — bytes moved / peak bandwidth (topology-independent);
+//   lcp bound  — merged elements / target tiles x the target's per-element
+//                LCP cost (outer-product runs only);
+//   serial     — barriers and reconfigurations do not parallelize.
+//
+// The prediction is max(bounds) + serial. It is a *conservative* (upper)
+// estimate: per-event stall costs are carried over from the measured
+// system, so it cannot see the target's larger caches cutting miss rates.
+// Accuracy is validated against the execution-driven simulator in
+// tests/sim/test_analytic.cpp — right order of magnitude and correct
+// scaling directions, which is what a roofline-style extrapolation can
+// promise, and is how the paper's >8x16 systems would be estimated if
+// execution-driven simulation were prohibitive.
+#pragma once
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace cosparse::sim {
+
+struct AnalyticPrediction {
+  Cycles cycles = 0;        ///< max(bounds) + serial overhead
+  double pe_bound = 0.0;    ///< cycles if PE work were the only limit
+  double dram_bound = 0.0;  ///< cycles if bandwidth were the only limit
+  double lcp_bound = 0.0;   ///< cycles if LCP serialization were the limit
+  double serial_cycles = 0.0;
+};
+
+/// Extrapolates a run measured on `measured_cfg` to `target_cfg`.
+/// `measured_cycles` is what the execution-driven simulator reported.
+AnalyticPrediction extrapolate(const SystemConfig& measured_cfg,
+                               const Stats& stats, Cycles measured_cycles,
+                               const SystemConfig& target_cfg);
+
+}  // namespace cosparse::sim

@@ -1,0 +1,225 @@
+#include "sim/cache.h"
+
+#include <tuple>
+
+#include "common/error.h"
+
+namespace cosparse::sim {
+
+CacheArray::CacheArray(std::uint32_t num_banks, std::uint32_t bank_bytes,
+                       std::uint32_t line_bytes, std::uint32_t associativity,
+                       std::uint32_t prefetch_depth,
+                       std::uint32_t num_requesters)
+    : num_banks_(num_banks),
+      bank_bytes_(bank_bytes),
+      line_bytes_(line_bytes),
+      associativity_(associativity),
+      prefetch_depth_(prefetch_depth),
+      sets_per_bank_(bank_bytes / (line_bytes * associativity)),
+      lines_(static_cast<std::size_t>(num_banks) * sets_per_bank_ *
+             associativity),
+      streams_(static_cast<std::size_t>(num_requesters) *
+               kStreamsPerRequester) {
+  COSPARSE_CHECK(num_banks_ >= 1);
+  COSPARSE_CHECK(sets_per_bank_ >= 1);
+  COSPARSE_CHECK(prefetch_depth_ + 1 <= kMaxFetchedLines);
+}
+
+std::size_t CacheArray::set_base(std::uint64_t line) const {
+  const std::uint64_t bank = line % num_banks_;
+  const std::uint64_t set = (line / num_banks_) % sets_per_bank_;
+  return static_cast<std::size_t>((bank * sets_per_bank_ + set) *
+                                  associativity_);
+}
+
+CacheArray::Line* CacheArray::find(std::uint64_t line) {
+  const std::size_t base = set_base(line);
+  for (std::uint32_t w = 0; w < associativity_; ++w) {
+    Line& l = lines_[base + w];
+    if (l.valid && l.line_addr == line) return &l;
+  }
+  return nullptr;
+}
+
+const CacheArray::Line* CacheArray::find(std::uint64_t line) const {
+  return const_cast<CacheArray*>(this)->find(line);
+}
+
+CacheArray::Line& CacheArray::victim(std::uint64_t line) {
+  const std::size_t base = set_base(line);
+  // Victim order: invalid ways, then not-yet-used prefetched lines (they
+  // were inserted at low priority so prefetch streams evict each other
+  // instead of polluting demand-hot lines), then true LRU.
+  Line* best = &lines_[base];
+  for (std::uint32_t w = 0; w < associativity_; ++w) {
+    Line& l = lines_[base + w];
+    if (!l.valid) return l;
+    const auto cand_key = std::make_pair(!l.prefetched, l.last_use);
+    const auto best_key = std::make_pair(!best->prefetched, best->last_use);
+    if (cand_key < best_key) best = &l;
+  }
+  return *best;
+}
+
+bool CacheArray::install_line(std::uint64_t line, bool prefetched,
+                              Addr* writeback) {
+  Line& v = victim(line);
+  const bool wb = v.valid && v.dirty;
+  if (wb && writeback != nullptr) {
+    *writeback = v.line_addr * line_bytes_;
+  }
+  v.line_addr = line;
+  v.valid = true;
+  v.dirty = false;
+  v.prefetched = prefetched;
+  v.last_use = ++tick_;
+  return wb;
+}
+
+CacheArray::Outcome CacheArray::access(std::uint32_t requester, Addr addr,
+                                       bool write, bool low_priority) {
+  Outcome out;
+  const std::uint64_t line = addr / line_bytes_;
+
+  if (low_priority) {
+    // Fill on behalf of an upper level's speculation: hit bumps nothing,
+    // miss installs at prefetch priority, the prefetcher stays untrained.
+    Line* resident = find(line);
+    if (resident != nullptr) {
+      out.hit = true;
+      if (write) resident->dirty = true;
+      return out;
+    }
+    Addr wb_lp = 0;
+    const bool had_wb_lp = install_line(line, /*prefetched=*/true, &wb_lp);
+    out.fetched_lines[out.num_fetched++] = line * line_bytes_;
+    if (write) find(line)->dirty = true;
+    if (had_wb_lp) out.writeback_lines[out.num_writebacks++] = wb_lp;
+    return out;
+  }
+
+  // --- stride detection (runs on every demand access) ---
+  // Match the access against the requester's stream table by proximity;
+  // allocate the LRU entry for accesses that belong to no known stream.
+  StreamState* match = nullptr;
+  {
+    StreamState* base = &streams_[static_cast<std::size_t>(requester) *
+                                  kStreamsPerRequester];
+    StreamState* victim = base;
+    for (std::uint32_t s = 0; s < kStreamsPerRequester; ++s) {
+      StreamState& cand = base[s];
+      if (cand.valid) {
+        const auto delta = static_cast<std::int64_t>(line) -
+                           static_cast<std::int64_t>(cand.last_line);
+        if (delta >= -kStreamMatchWindow && delta <= kStreamMatchWindow) {
+          match = &cand;
+          break;
+        }
+      }
+      // Victim selection prefers unconfirmed entries: random access
+      // patterns churn among themselves instead of evicting a confirmed
+      // stream (the behaviour a PC-indexed prefetcher gets for free).
+      if (!cand.valid ||
+          std::tie(cand.confidence, cand.last_use) <
+              std::tie(victim->confidence, victim->last_use)) {
+        victim = &cand;
+      }
+    }
+    if (match == nullptr) {
+      *victim = StreamState{};
+      victim->valid = true;
+      victim->last_line = line;
+      victim->last_use = ++tick_;
+    }
+  }
+  bool stride_confirmed = false;
+  std::int64_t stride = 0;
+  if (match != nullptr) {
+    StreamState& st = *match;
+    st.last_use = ++tick_;
+    const auto delta = static_cast<std::int64_t>(line) -
+                       static_cast<std::int64_t>(st.last_line);
+    if (delta != 0) {
+      if (delta == st.stride) {
+        if (st.confidence < 4) ++st.confidence;
+      } else {
+        st.stride = delta;
+        st.confidence = 1;
+      }
+      st.last_line = line;
+    }
+    stride_confirmed = st.confidence >= 2 && st.stride != 0;
+    stride = st.stride;
+  }
+
+  auto issue_prefetch = [&](std::uint64_t pf_line) {
+    if (find(pf_line) != nullptr) return;  // already resident
+    if (out.num_fetched >= kMaxFetchedLines) return;
+    Addr wb = 0;
+    const bool had_wb = install_line(pf_line, /*prefetched=*/true, &wb);
+    out.fetched_lines[out.num_fetched++] = pf_line * line_bytes_;
+    ++out.num_prefetched;
+    if (had_wb) out.writeback_lines[out.num_writebacks++] = wb;
+  };
+
+  Line* hit_line = find(line);
+  if (hit_line != nullptr) {
+    out.hit = true;
+    hit_line->last_use = ++tick_;
+    if (write) hit_line->dirty = true;
+    // Tagged prefetch: the first demand hit on a prefetched line promotes
+    // it to normal priority and extends the stream by one more line,
+    // keeping steady-state streams resident.
+    if (hit_line->prefetched) {
+      hit_line->prefetched = false;
+      if (stride_confirmed) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(line) +
+            stride * static_cast<std::int64_t>(prefetch_depth_);
+        if (next > 0) issue_prefetch(static_cast<std::uint64_t>(next));
+      }
+    }
+    return out;
+  }
+
+  // Demand miss: fetch the line itself...
+  Addr wb = 0;
+  const bool had_wb = install_line(line, /*prefetched=*/false, &wb);
+  out.fetched_lines[out.num_fetched++] = line * line_bytes_;
+  if (had_wb) out.writeback_lines[out.num_writebacks++] = wb;
+  if (write) find(line)->dirty = true;
+  // ...and run the stride prefetcher ahead of it.
+  if (stride_confirmed) {
+    for (std::uint32_t i = 1; i <= prefetch_depth_; ++i) {
+      const std::int64_t next =
+          static_cast<std::int64_t>(line) + stride * static_cast<std::int64_t>(i);
+      if (next > 0) issue_prefetch(static_cast<std::uint64_t>(next));
+    }
+  }
+  return out;
+}
+
+std::uint32_t CacheArray::install(Addr addr, Addr* writeback_out) {
+  Addr wb = 0;
+  const bool had_wb =
+      install_line(addr / line_bytes_, /*prefetched=*/false, &wb);
+  if (had_wb && writeback_out != nullptr) *writeback_out = wb;
+  return had_wb ? 1u : 0u;
+}
+
+bool CacheArray::probe(Addr addr) const {
+  return find(addr / line_bytes_) != nullptr;
+}
+
+std::uint64_t CacheArray::flush() {
+  std::uint64_t dirty = 0;
+  for (Line& l : lines_) {
+    if (l.valid && l.dirty) ++dirty;
+    l = Line{};
+  }
+  for (StreamState& s : streams_) s = StreamState{};
+  tick_ = 0;
+  return dirty;
+}
+
+}  // namespace cosparse::sim

@@ -1,0 +1,114 @@
+// Reconfigurable cache bank array (Table II "RCache", cache personality).
+//
+// A CacheArray models a group of 4 kB banks that act as one
+// address-interleaved cache: line address modulo #banks selects the bank,
+// each bank is 4-way set-associative with true LRU, write-back and
+// write-allocate. Each bank group carries per-requester tagged stride
+// prefetchers (Table II: "stride prefetcher"): a confirmed stride issues
+// `prefetch_depth` line fetches on a miss, and a demand hit on a
+// prefetched line issues one more line to sustain the stream.
+//
+// The array reports which line addresses it fetched so the owning
+// MemoryHierarchy can propagate demand/prefetch fills to the next level and
+// to DRAM; it performs no timing itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cosparse::sim {
+
+class CacheArray {
+ public:
+  /// `num_requesters` bounds the requester ids passed to access() and sizes
+  /// the prefetcher state table.
+  CacheArray(std::uint32_t num_banks, std::uint32_t bank_bytes,
+             std::uint32_t line_bytes, std::uint32_t associativity,
+             std::uint32_t prefetch_depth, std::uint32_t num_requesters);
+
+  static constexpr std::uint32_t kMaxFetchedLines = 1 + 8;
+
+  struct Outcome {
+    bool hit = false;                    ///< demand access hit in the array
+    std::uint32_t num_fetched = 0;       ///< lines to fill from next level
+    std::uint32_t num_prefetched = 0;    ///< subset of num_fetched that are prefetches
+    std::uint32_t num_writebacks = 0;    ///< dirty lines evicted by the fills
+    Addr fetched_lines[kMaxFetchedLines] = {};   ///< line-aligned byte addrs, demand first
+    Addr writeback_lines[kMaxFetchedLines] = {}; ///< line-aligned byte addrs
+  };
+
+  /// Performs an access at byte address `addr` (the containing line is
+  /// used). `write` marks the line dirty. `low_priority` marks fills on
+  /// behalf of an upper level's prefetcher/writeback: they install at
+  /// prefetch (victim-preferred) priority and do not train this level's
+  /// prefetcher, so speculative streams cannot flush demand-hot data.
+  /// Never performs next-level accesses itself — the caller propagates
+  /// `fetched_lines`.
+  Outcome access(std::uint32_t requester, Addr addr, bool write,
+                 bool low_priority = false);
+
+  /// Installs a line that was filled by the *next* level on behalf of this
+  /// one (used for inclusive fills from a peer path). Returns the number of
+  /// dirty writebacks caused (line addresses appended to `out`).
+  std::uint32_t install(Addr addr, Addr* writeback_out);
+
+  /// True if the containing line is present (testing/diagnostics only).
+  [[nodiscard]] bool probe(Addr addr) const;
+
+  /// Writes back everything: returns the number of dirty lines and clears
+  /// the array (used at reconfiguration boundaries).
+  std::uint64_t flush();
+
+  [[nodiscard]] std::size_t total_bytes() const {
+    return static_cast<std::size_t>(num_banks_) * bank_bytes_;
+  }
+  [[nodiscard]] std::uint32_t num_banks() const { return num_banks_; }
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;  ///< line index (byte addr / line_bytes)
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;
+  };
+
+  // Each requester tracks a few concurrent streams, matched by line
+  // proximity — a PE interleaves accesses to several arrays (matrix
+  // stream, frontier bitmap, output), and a single per-requester stride
+  // register would see alternating jumps and never confirm. Real stride
+  // prefetchers are PC- or region-indexed for exactly this reason.
+  static constexpr std::uint32_t kStreamsPerRequester = 4;
+  static constexpr std::int64_t kStreamMatchWindow = 64;  ///< lines
+
+  struct StreamState {
+    std::uint64_t last_line = 0;
+    std::int64_t stride = 0;
+    std::uint32_t confidence = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::size_t set_base(std::uint64_t line) const;
+  Line* find(std::uint64_t line);
+  [[nodiscard]] const Line* find(std::uint64_t line) const;
+  /// Picks a victim way in the line's set (invalid first, then LRU).
+  Line& victim(std::uint64_t line);
+  /// Installs `line` (evicting if needed); returns evicted dirty line addr
+  /// or 0 with `dirty=false`.
+  bool install_line(std::uint64_t line, bool prefetched, Addr* writeback);
+
+  std::uint32_t num_banks_;
+  std::uint32_t bank_bytes_;
+  std::uint32_t line_bytes_;
+  std::uint32_t associativity_;
+  std::uint32_t prefetch_depth_;
+  std::uint32_t sets_per_bank_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;          ///< [bank][set][way] flattened
+  std::vector<StreamState> streams_; ///< [requester][stream] flattened
+};
+
+}  // namespace cosparse::sim

@@ -1,0 +1,46 @@
+#include "sim/config.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosparse::sim {
+
+const char* to_string(HwConfig c) {
+  switch (c) {
+    case HwConfig::kSC: return "SC";
+    case HwConfig::kSCS: return "SCS";
+    case HwConfig::kPC: return "PC";
+    case HwConfig::kPS: return "PS";
+  }
+  return "?";
+}
+
+HwConfig hw_config_from_string(const std::string& name) {
+  std::string up = name;
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::toupper(ch)); });
+  if (up == "SC") return HwConfig::kSC;
+  if (up == "SCS") return HwConfig::kSCS;
+  if (up == "PC") return HwConfig::kPC;
+  if (up == "PS") return HwConfig::kPS;
+  throw Error("unknown hardware configuration '" + name +
+              "' (expected SC, SCS, PC or PS)");
+}
+
+SystemConfig SystemConfig::transmuter(std::uint32_t tiles, std::uint32_t pes) {
+  COSPARSE_REQUIRE(tiles >= 1 && pes >= 2,
+                   "a Transmuter system needs >= 1 tile and >= 2 PEs/tile");
+  COSPARSE_REQUIRE(pes % 2 == 0,
+                   "pes_per_tile must be even so SCS can split L1 banks");
+  SystemConfig cfg;
+  cfg.num_tiles = tiles;
+  cfg.pes_per_tile = pes;
+  return cfg;
+}
+
+std::string SystemConfig::name() const {
+  return std::to_string(num_tiles) + "x" + std::to_string(pes_per_tile);
+}
+
+}  // namespace cosparse::sim

@@ -1,0 +1,28 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+
+namespace cosparse::sim {
+
+double Dram::access(std::uint64_t bytes, bool write, double now,
+                    Stats& stats) {
+  traffic(bytes, write, stats);
+  const double peak = cfg_->dram_peak_bytes_per_cycle();
+  const double util =
+      now <= 1.0 ? 0.0
+                 : std::clamp(static_cast<double>(total_bytes_) / (now * peak),
+                              0.0, 1.0);
+  return cfg_->dram_latency_min +
+         (cfg_->dram_latency_max - cfg_->dram_latency_min) * util;
+}
+
+void Dram::traffic(std::uint64_t bytes, bool write, Stats& stats) {
+  total_bytes_ += bytes;
+  if (write) {
+    stats.dram_write_bytes += bytes;
+  } else {
+    stats.dram_read_bytes += bytes;
+  }
+}
+
+}  // namespace cosparse::sim

@@ -1,0 +1,38 @@
+#include "sim/energy.h"
+
+namespace cosparse::sim {
+
+Picojoules EnergyModel::total(const SystemConfig& cfg, const Stats& stats,
+                              Cycles elapsed) const {
+  const auto& p = params_;
+  double pj = 0.0;
+  // Dynamic: PE activity (compute issue slots; stalled cycles burn only
+  // leakage).
+  pj += p.pe_active_pj * stats.pe_compute_cycles;
+  // Memory events.
+  pj += p.cache_access_pj *
+        static_cast<double>(stats.l1_accesses() + stats.l2_accesses() +
+                            stats.prefetch_lines + stats.writeback_lines);
+  pj += p.spm_access_pj * static_cast<double>(stats.spm_accesses);
+  pj += p.xbar_hop_pj * static_cast<double>(stats.xbar_transfers);
+  pj += p.dram_pj_per_byte * static_cast<double>(stats.dram_bytes());
+  pj += p.lcp_element_pj * static_cast<double>(stats.lcp_elements);
+  // Static: every PE/LCP and every bank leaks for the whole run. Each tile
+  // has one LCP (counted with the PEs) and 2x pes_per_tile banks (L1 + L2).
+  const double cores = static_cast<double>(cfg.num_pes() + cfg.num_tiles);
+  const double banks = static_cast<double>(cfg.num_pes()) * 2.0;
+  pj += (p.pe_static_pj_per_cycle * cores +
+         p.bank_static_pj_per_cycle * banks) *
+        static_cast<double>(elapsed);
+  return pj;
+}
+
+double EnergyModel::watts(const SystemConfig& cfg, const Stats& stats,
+                          Cycles elapsed) const {
+  if (elapsed == 0) return 0.0;
+  const double seconds =
+      static_cast<double>(elapsed) / (cfg.freq_ghz * 1e9);
+  return total(cfg, stats, elapsed) * 1e-12 / seconds;
+}
+
+}  // namespace cosparse::sim

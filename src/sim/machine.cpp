@@ -1,0 +1,350 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosparse::sim {
+
+Machine::Machine(const SystemConfig& cfg, HwConfig initial)
+    : cfg_(cfg),
+      hw_(initial),
+      dram_(cfg_),
+      pe_clock_(cfg.num_pes(), 0.0),
+      lcp_clock_(cfg.num_tiles, 0.0) {
+  rebuild_hierarchy();
+}
+
+Addr Machine::alloc(std::size_t bytes, std::string_view /*label*/) {
+  const Addr base = next_addr_;
+  const Addr aligned =
+      (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+  // Pad with one guard line so distinct arrays never share a cache line.
+  next_addr_ += aligned + kCacheLineBytes;
+  return base;
+}
+
+void Machine::compute(std::uint32_t pe, double cycles) {
+  pe_clock_[pe] += cycles;
+  stats_.pe_compute_cycles += cycles;
+}
+
+void Machine::rebuild_hierarchy() {
+  l1_tile_.clear();
+  l1_pe_.clear();
+  l2_global_.reset();
+  l2_tile_.clear();
+
+  const std::uint32_t T = cfg_.num_tiles;
+  const std::uint32_t P = cfg_.pes_per_tile;
+
+  switch (hw_) {
+    case HwConfig::kSC:
+      for (std::uint32_t t = 0; t < T; ++t) {
+        l1_tile_.push_back(std::make_unique<CacheArray>(
+            P, cfg_.bank_bytes, cfg_.line_bytes, cfg_.associativity,
+            cfg_.prefetch_depth, /*requesters=*/P));
+      }
+      l2_global_ = std::make_unique<CacheArray>(
+          T * P, cfg_.bank_bytes, cfg_.line_bytes, cfg_.associativity,
+          cfg_.prefetch_depth, /*requesters=*/T * P);
+      break;
+    case HwConfig::kSCS:
+      for (std::uint32_t t = 0; t < T; ++t) {
+        l1_tile_.push_back(std::make_unique<CacheArray>(
+            std::max(1u, P / 2), cfg_.bank_bytes, cfg_.line_bytes,
+            cfg_.associativity, cfg_.prefetch_depth, /*requesters=*/P));
+      }
+      l2_global_ = std::make_unique<CacheArray>(
+          T * P, cfg_.bank_bytes, cfg_.line_bytes, cfg_.associativity,
+          cfg_.prefetch_depth, /*requesters=*/T * P);
+      break;
+    case HwConfig::kPC:
+      for (std::uint32_t pe = 0; pe < T * P; ++pe) {
+        l1_pe_.push_back(std::make_unique<CacheArray>(
+            1, cfg_.bank_bytes, cfg_.line_bytes, cfg_.associativity,
+            cfg_.prefetch_depth, /*requesters=*/1));
+      }
+      for (std::uint32_t t = 0; t < T; ++t) {
+        l2_tile_.push_back(std::make_unique<CacheArray>(
+            P, cfg_.bank_bytes, cfg_.line_bytes, cfg_.associativity,
+            cfg_.prefetch_depth, /*requesters=*/P));
+      }
+      break;
+    case HwConfig::kPS:
+      // L1 is all-SPM; demand traffic goes straight to the per-tile L2.
+      for (std::uint32_t t = 0; t < T; ++t) {
+        l2_tile_.push_back(std::make_unique<CacheArray>(
+            P, cfg_.bank_bytes, cfg_.line_bytes, cfg_.associativity,
+            cfg_.prefetch_depth, /*requesters=*/P));
+      }
+      break;
+  }
+}
+
+double Machine::arb_penalty(std::uint32_t sharers,
+                            std::uint32_t banks) const {
+  if (sharers <= 1) return 0.0;
+  return cfg_.xbar_conflict_factor * static_cast<double>(sharers - 1) /
+         static_cast<double>(banks);
+}
+
+double Machine::access_l2(std::uint32_t pe, Addr addr, bool write,
+                          bool demand) {
+  const std::uint32_t tile = tile_of(pe);
+  CacheArray* l2 = nullptr;
+  std::uint32_t requester = 0;
+  std::uint32_t sharers = 0;
+  if (l2_global_) {
+    l2 = l2_global_.get();
+    requester = pe;
+    sharers = cfg_.num_pes();
+  } else {
+    l2 = l2_tile_[tile].get();
+    requester = pe % cfg_.pes_per_tile;
+    sharers = cfg_.pes_per_tile;
+  }
+
+  double latency =
+      cfg_.xbar_latency + arb_penalty(sharers, l2->num_banks()) +
+      cfg_.l2_bank_latency;
+  ++stats_.xbar_transfers;
+
+  const auto out = l2->access(requester, addr, write, /*low_priority=*/!demand);
+  if (out.hit) {
+    ++stats_.l2_hits;
+  } else {
+    ++stats_.l2_misses;
+  }
+  // Every fetched line (demand fill + prefetches) comes from DRAM.
+  for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
+    const bool is_demand_fill = (i == 0 && !out.hit);
+    if (is_demand_fill) {
+      latency += cfg_.refill_overhead +
+                 dram_.access(cfg_.line_bytes, /*write=*/false,
+                              pe_clock_[pe] + latency, stats_);
+    } else {
+      dram_.traffic(cfg_.line_bytes, /*write=*/false, stats_);
+      ++stats_.prefetch_lines;
+    }
+  }
+  for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
+    dram_.traffic(cfg_.line_bytes, /*write=*/true, stats_);
+    ++stats_.writeback_lines;
+  }
+  return demand ? latency : 0.0;
+}
+
+double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
+  const std::uint32_t tile = tile_of(pe);
+
+  // L1 hits are modeled as pipelined: a 1-issue in-order core with
+  // software-pipelined kernels hides the load-to-use latency of hits, so a
+  // hit costs one issue slot (plus shared-mode arbitration); only misses
+  // expose the full hierarchy latency. Without this, per-element SpMV cost
+  // lands ~3x above what MAC loops achieve on real in-order cores.
+  CacheArray* l1 = nullptr;
+  std::uint32_t requester = 0;
+  double l1_latency = 0.0;
+  if (!l1_tile_.empty()) {
+    // Shared L1 within the tile (SC/SCS).
+    l1 = l1_tile_[tile].get();
+    requester = pe % cfg_.pes_per_tile;
+    l1_latency = 1.0 + arb_penalty(cfg_.pes_per_tile, l1->num_banks());
+    ++stats_.xbar_transfers;
+  } else if (!l1_pe_.empty()) {
+    // Private L1 (PC): transparent crossbar, direct access.
+    l1 = l1_pe_[pe].get();
+    requester = 0;
+    l1_latency = 1.0;
+  } else {
+    // PS: no L1 cache — straight to the per-tile L2.
+    return access_l2(pe, addr, write, /*demand=*/true);
+  }
+
+  double latency = l1_latency;
+  const auto out = l1->access(requester, addr, write);
+  if (out.hit) {
+    ++stats_.l1_hits;
+    // A tagged prefetch issued on this hit still moves lines (no stall).
+    for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
+      access_l2(pe, out.fetched_lines[i], /*write=*/false, /*demand=*/false);
+      ++stats_.prefetch_lines;
+    }
+    for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
+      access_l2(pe, out.writeback_lines[i], /*write=*/true, /*demand=*/false);
+      ++stats_.writeback_lines;
+    }
+    return latency;
+  }
+  ++stats_.l1_misses;
+  for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
+    const bool is_demand_fill = (i == 0);
+    if (is_demand_fill) {
+      latency += cfg_.refill_overhead +
+                 access_l2(pe, out.fetched_lines[i], /*write=*/false,
+                           /*demand=*/true);
+    } else {
+      access_l2(pe, out.fetched_lines[i], /*write=*/false, /*demand=*/false);
+      ++stats_.prefetch_lines;
+    }
+  }
+  // Dirty L1 victims drain into L2 (no PE stall).
+  for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
+    access_l2(pe, out.writeback_lines[i], /*write=*/true, /*demand=*/false);
+    ++stats_.writeback_lines;
+  }
+  return latency;
+}
+
+void Machine::mem_read(std::uint32_t pe, Addr addr, std::uint32_t bytes) {
+  (void)bytes;  // sub-line accesses cost one hierarchy round trip
+  const double latency = route_access(pe, addr, /*write=*/false);
+  pe_clock_[pe] += latency;
+  stats_.pe_mem_stall_cycles += latency;
+}
+
+void Machine::mem_write(std::uint32_t pe, Addr addr, std::uint32_t bytes) {
+  (void)bytes;
+  // Stores drain through a store buffer: the PE spends one issue slot and
+  // does not wait for the (write-allocate) fill — cache state and traffic
+  // are still updated, and sustained store misses are bounded by the DRAM
+  // roofline rather than per-store latency.
+  route_access(pe, addr, /*write=*/true);
+  pe_clock_[pe] += 1.0;
+  stats_.pe_mem_stall_cycles += 1.0;
+}
+
+std::size_t Machine::spm_bytes_per_tile() const {
+  return hw_ == HwConfig::kSCS ? cfg_.scs_spm_bytes_per_tile() : 0;
+}
+
+std::size_t Machine::spm_bytes_per_pe() const {
+  return hw_ == HwConfig::kPS ? cfg_.ps_spm_bytes_per_pe() : 0;
+}
+
+void Machine::spm_read(std::uint32_t pe, std::uint32_t /*bytes*/) {
+  COSPARSE_CHECK_MSG(has_l1_spm(hw_), "SPM access in a cache-only config");
+  double latency = cfg_.spm_latency + cfg_.spm_mgmt_cycles;
+  if (hw_ == HwConfig::kSCS) {
+    // Shared SPM arbitration: the SCS split is by capacity, so all of the
+    // tile's word-granular banks still serve SPM requests.
+    latency += arb_penalty(cfg_.pes_per_tile, cfg_.pes_per_tile);
+  }
+  pe_clock_[pe] += latency;
+  stats_.pe_mem_stall_cycles += latency;
+  ++stats_.spm_accesses;
+}
+
+void Machine::spm_write(std::uint32_t pe, std::uint32_t bytes) {
+  spm_read(pe, bytes);  // symmetric cost
+}
+
+void Machine::spm_fill_tile(std::uint32_t tile, Addr src, std::size_t bytes) {
+  COSPARSE_CHECK_MSG(hw_ == HwConfig::kSCS,
+                     "tile SPM fill is only meaningful in SCS");
+  tile_barrier(tile);
+  // Stream the segment line by line through the (shared) L2 so a segment
+  // already pulled by another tile costs L2 bandwidth, not DRAM bandwidth.
+  const std::uint32_t pe0 = tile * cfg_.pes_per_tile;
+  const std::uint64_t l2_hits_before = stats_.l2_hits;
+  std::uint64_t lines = 0;
+  for (Addr a = src; a < src + bytes; a += cfg_.line_bytes, ++lines) {
+    access_l2(pe0, a, /*write=*/false, /*demand=*/false);
+  }
+  const std::uint64_t from_l2 = stats_.l2_hits - l2_hits_before;
+  const std::uint64_t from_dram = lines - std::min(lines, from_l2);
+  // DMA timing: DRAM-sourced lines move at the tile's share of DRAM
+  // bandwidth; L2-sourced lines at L2 bank bandwidth.
+  const double tile_share =
+      cfg_.dram_peak_bytes_per_cycle() / static_cast<double>(cfg_.num_tiles);
+  const double fill_cycles =
+      cfg_.dram_latency_min +
+      static_cast<double>(from_dram) * cfg_.line_bytes / tile_share +
+      static_cast<double>(from_l2) * 2.0;
+  const std::uint32_t base = tile * cfg_.pes_per_tile;
+  for (std::uint32_t p = 0; p < cfg_.pes_per_tile; ++p) {
+    pe_clock_[base + p] += fill_cycles;
+  }
+  lcp_clock_[tile] += fill_cycles;
+  stats_.pe_mem_stall_cycles +=
+      fill_cycles * static_cast<double>(cfg_.pes_per_tile);
+}
+
+void Machine::dma_traffic(std::size_t bytes, bool write) {
+  dram_.traffic(bytes, write, stats_);
+}
+
+void Machine::lcp_emit(std::uint32_t pe, std::uint32_t bytes) {
+  const std::uint32_t tile = tile_of(pe);
+  // The PE spends one cycle handing the element off.
+  pe_clock_[pe] += 1.0;
+  stats_.pe_compute_cycles += 1.0;
+  // The LCP serializes handling + writeback of the element.
+  lcp_clock_[tile] += cfg_.lcp_cycles_per_element();
+  ++stats_.lcp_elements;
+  dram_.traffic(bytes, /*write=*/true, stats_);
+}
+
+void Machine::tile_barrier(std::uint32_t tile) {
+  const std::uint32_t base = tile * cfg_.pes_per_tile;
+  double mx = lcp_clock_[tile];
+  for (std::uint32_t p = 0; p < cfg_.pes_per_tile; ++p) {
+    mx = std::max(mx, pe_clock_[base + p]);
+  }
+  for (std::uint32_t p = 0; p < cfg_.pes_per_tile; ++p) {
+    pe_clock_[base + p] = mx;
+  }
+  lcp_clock_[tile] = mx;
+  ++stats_.barriers;
+}
+
+void Machine::global_barrier() {
+  double mx = 0.0;
+  for (double c : pe_clock_) mx = std::max(mx, c);
+  for (double c : lcp_clock_) mx = std::max(mx, c);
+  std::fill(pe_clock_.begin(), pe_clock_.end(), mx);
+  std::fill(lcp_clock_.begin(), lcp_clock_.end(), mx);
+  ++stats_.barriers;
+}
+
+void Machine::reconfigure(HwConfig next) {
+  global_barrier();
+  // Write back all dirty lines; banks drain in parallel, bounded by DRAM
+  // bandwidth.
+  std::uint64_t dirty = 0;
+  for (auto& c : l1_tile_) dirty += c->flush();
+  for (auto& c : l1_pe_) dirty += c->flush();
+  if (l2_global_) dirty += l2_global_->flush();
+  for (auto& c : l2_tile_) dirty += c->flush();
+  stats_.flushed_dirty_lines += dirty;
+  const std::uint64_t flush_bytes = dirty * cfg_.line_bytes;
+  dram_.traffic(flush_bytes, /*write=*/true, stats_);
+  const double flush_cycles =
+      dirty == 0 ? 0.0
+                 : cfg_.dram_latency_min +
+                       static_cast<double>(flush_bytes) /
+                           cfg_.dram_peak_bytes_per_cycle();
+  const double penalty = flush_cycles + cfg_.reconfig_cycles;
+  for (double& c : pe_clock_) c += penalty;
+  for (double& c : lcp_clock_) c += penalty;
+  hw_ = next;
+  rebuild_hierarchy();
+  ++stats_.reconfigurations;
+}
+
+Cycles Machine::cycles() const {
+  double mx = 0.0;
+  for (double c : pe_clock_) mx = std::max(mx, c);
+  for (double c : lcp_clock_) mx = std::max(mx, c);
+  mx = std::max(mx, dram_.bandwidth_floor_cycles());
+  return static_cast<Cycles>(mx);
+}
+
+Picojoules Machine::energy_pj() const {
+  return energy_.total(cfg_, stats_, cycles());
+}
+
+double Machine::watts() const { return energy_.watts(cfg_, stats_, cycles()); }
+
+}  // namespace cosparse::sim

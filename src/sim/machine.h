@@ -1,0 +1,148 @@
+// The simulated machine: tiles x PEs over a reconfigurable two-level
+// memory hierarchy, plus DRAM, with per-PE cycle accounting.
+//
+// Execution model (and its approximations, referenced from DESIGN.md §5):
+// kernels run *functionally* on host data while charging cycles to the PE
+// that architecturally performs each operation. Each PE owns a local
+// double-precision clock; barriers equalize clocks; Machine::cycles()
+// returns the max clock, floored by the DRAM bandwidth roofline.
+//
+// PEs within a tile are simulated serially rather than interleaved
+// per-cycle. Two consequences, both documented approximations:
+//   * shared-cache contents are warmed in PE order rather than true
+//     interleaved order — reuse *statistics* are preserved;
+//   * crossbar bank conflicts are charged statistically: every shared-mode
+//     access pays `xbar_conflict_factor * (sharers - 1) / banks` cycles of
+//     expected serialization on top of the 1-cycle traversal (Table II:
+//     "0 to (Nsrc-1) serialization latency depending upon number of
+//     conflicts").
+//
+// Hierarchy wiring per HwConfig (paper Fig. 2):
+//   SC : per-tile shared L1 cache (P banks)           -> global shared L2
+//   SCS: per-tile L1 split: P/2 cache banks + P/2 SPM -> global shared L2
+//   PC : per-PE private L1 cache (1 bank)             -> per-tile L2
+//   PS : per-PE private L1 SPM (1 bank), no L1 cache  -> per-tile L2
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/dram.h"
+#include "sim/energy.h"
+#include "sim/stats.h"
+
+namespace cosparse::sim {
+
+class Machine {
+ public:
+  Machine(const SystemConfig& cfg, HwConfig initial);
+
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] HwConfig hw() const { return hw_; }
+  [[nodiscard]] std::uint32_t num_pes() const { return cfg_.num_pes(); }
+  [[nodiscard]] std::uint32_t num_tiles() const { return cfg_.num_tiles; }
+  [[nodiscard]] std::uint32_t pes_per_tile() const {
+    return cfg_.pes_per_tile;
+  }
+  [[nodiscard]] std::uint32_t tile_of(std::uint32_t pe) const {
+    return pe / cfg_.pes_per_tile;
+  }
+
+  // ---- simulated address space ----
+  /// Reserves a line-aligned range of the simulated physical address space.
+  /// Stable across reconfigurations; labels aid debugging.
+  Addr alloc(std::size_t bytes, std::string_view label = "");
+
+  // ---- PE-side operations (called by kernels) ----
+  /// Charges `cycles` of ALU/issue work to a PE.
+  void compute(std::uint32_t pe, double cycles);
+
+  /// Demand load/store of `bytes` at `addr` through the configured
+  /// hierarchy; the PE stalls for the full latency (in-order MinorCPU-like
+  /// cores with blocking memory ops).
+  void mem_read(std::uint32_t pe, Addr addr, std::uint32_t bytes);
+  void mem_write(std::uint32_t pe, Addr addr, std::uint32_t bytes);
+
+  /// L1 scratchpad access. Legal only in SCS (per-tile shared SPM) and PS
+  /// (per-PE private SPM); capacity policy is the kernel's job — the
+  /// machine charges deterministic SPM latency.
+  void spm_read(std::uint32_t pe, std::uint32_t bytes);
+  void spm_write(std::uint32_t pe, std::uint32_t bytes);
+
+  /// Capacity available to kernels for SPM placement under the current
+  /// configuration (0 when L1 has no SPM personality).
+  [[nodiscard]] std::size_t spm_bytes_per_tile() const;
+  [[nodiscard]] std::size_t spm_bytes_per_pe() const;
+
+  /// Bulk DMA of `bytes` at `src` into a tile's shared SPM (SCS vblock
+  /// refill, paper Fig. 3 step 1). The fill streams *through the shared
+  /// L2*: the first tile to fill a segment pulls it from DRAM, later tiles
+  /// hit L2 — the same inter-tile sharing the SC path enjoys. Implies a
+  /// tile barrier; all PEs of the tile resume after the fill.
+  void spm_fill_tile(std::uint32_t tile, Addr src, std::size_t bytes);
+
+  /// Bulk DMA traffic with no PE involvement (e.g. output-buffer
+  /// initialization): consumes DRAM bandwidth (caught by the roofline) but
+  /// stalls nobody.
+  void dma_traffic(std::size_t bytes, bool write);
+
+  /// Outer-product result element handed to the tile's LCP, which
+  /// serializes `bytes` of writeback to main memory (paper Fig. 3 step 4).
+  /// The issuing PE is charged one send cycle; LCP occupancy accumulates
+  /// and is folded in at barriers.
+  void lcp_emit(std::uint32_t pe, std::uint32_t bytes);
+
+  // ---- synchronization ----
+  void tile_barrier(std::uint32_t tile);
+  void global_barrier();
+
+  // ---- reconfiguration (paper §III-D: LCP-triggered, <= 10 cycles) ----
+  /// Global barrier, write-back flush of all dirty cache lines, the <= 10
+  /// cycle mode switch, then the hierarchy is rebuilt cold in `next` mode.
+  void reconfigure(HwConfig next);
+
+  // ---- results ----
+  /// Elapsed cycles: max over PE/LCP clocks, floored by the DRAM bandwidth
+  /// roofline (total bytes moved / peak bandwidth).
+  [[nodiscard]] Cycles cycles() const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Simulated total energy / average power under the default EnergyModel.
+  [[nodiscard]] Picojoules energy_pj() const;
+  [[nodiscard]] double watts() const;
+
+ private:
+  struct Level;
+
+  void rebuild_hierarchy();
+  /// Shared-mode arbitration penalty for a level shared by `sharers`
+  /// requesters over `banks` banks.
+  [[nodiscard]] double arb_penalty(std::uint32_t sharers,
+                                   std::uint32_t banks) const;
+  /// Routes one demand access; returns the latency charged to the PE.
+  double route_access(std::uint32_t pe, Addr addr, bool write);
+  /// L2-level access (demand or traffic-only); returns demand latency.
+  double access_l2(std::uint32_t pe, Addr addr, bool write, bool demand);
+
+  SystemConfig cfg_;
+  HwConfig hw_;
+  Stats stats_;
+  Dram dram_;
+  EnergyModel energy_;
+
+  std::vector<double> pe_clock_;   ///< per global PE id
+  std::vector<double> lcp_clock_;  ///< per tile
+
+  // Hierarchy state (rebuilt on reconfigure()).
+  std::vector<std::unique_ptr<CacheArray>> l1_tile_;  ///< SC/SCS: per tile
+  std::vector<std::unique_ptr<CacheArray>> l1_pe_;    ///< PC: per PE
+  std::unique_ptr<CacheArray> l2_global_;             ///< SC/SCS
+  std::vector<std::unique_ptr<CacheArray>> l2_tile_;  ///< PC/PS: per tile
+
+  Addr next_addr_ = 0;
+};
+
+}  // namespace cosparse::sim

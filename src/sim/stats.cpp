@@ -1,0 +1,63 @@
+#include "sim/stats.h"
+
+#include <ostream>
+
+namespace cosparse::sim {
+
+Stats& Stats::operator+=(const Stats& o) {
+  pe_compute_cycles += o.pe_compute_cycles;
+  pe_mem_stall_cycles += o.pe_mem_stall_cycles;
+  l1_hits += o.l1_hits;
+  l1_misses += o.l1_misses;
+  spm_accesses += o.spm_accesses;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  dram_read_bytes += o.dram_read_bytes;
+  dram_write_bytes += o.dram_write_bytes;
+  prefetch_lines += o.prefetch_lines;
+  writeback_lines += o.writeback_lines;
+  xbar_transfers += o.xbar_transfers;
+  lcp_elements += o.lcp_elements;
+  barriers += o.barriers;
+  reconfigurations += o.reconfigurations;
+  flushed_dirty_lines += o.flushed_dirty_lines;
+  return *this;
+}
+
+Stats operator-(Stats a, const Stats& b) {
+  a.pe_compute_cycles -= b.pe_compute_cycles;
+  a.pe_mem_stall_cycles -= b.pe_mem_stall_cycles;
+  a.l1_hits -= b.l1_hits;
+  a.l1_misses -= b.l1_misses;
+  a.spm_accesses -= b.spm_accesses;
+  a.l2_hits -= b.l2_hits;
+  a.l2_misses -= b.l2_misses;
+  a.dram_read_bytes -= b.dram_read_bytes;
+  a.dram_write_bytes -= b.dram_write_bytes;
+  a.prefetch_lines -= b.prefetch_lines;
+  a.writeback_lines -= b.writeback_lines;
+  a.xbar_transfers -= b.xbar_transfers;
+  a.lcp_elements -= b.lcp_elements;
+  a.barriers -= b.barriers;
+  a.reconfigurations -= b.reconfigurations;
+  a.flushed_dirty_lines -= b.flushed_dirty_lines;
+  return a;
+}
+
+void Stats::print(std::ostream& os) const {
+  os << "L1: " << l1_hits << " hits / " << l1_misses << " misses ("
+     << l1_hit_rate() * 100.0 << "% hit)\n"
+     << "SPM accesses: " << spm_accesses << "\n"
+     << "L2: " << l2_hits << " hits / " << l2_misses << " misses ("
+     << l2_hit_rate() * 100.0 << "% hit)\n"
+     << "DRAM: " << dram_read_bytes << " B read, " << dram_write_bytes
+     << " B written\n"
+     << "prefetched lines: " << prefetch_lines
+     << ", writebacks: " << writeback_lines << "\n"
+     << "PE compute cycles: " << pe_compute_cycles
+     << ", mem stall cycles: " << pe_mem_stall_cycles << "\n"
+     << "LCP elements: " << lcp_elements << ", barriers: " << barriers
+     << ", reconfigurations: " << reconfigurations << "\n";
+}
+
+}  // namespace cosparse::sim

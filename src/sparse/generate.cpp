@@ -1,0 +1,188 @@
+#include "sparse/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace cosparse::sparse {
+namespace {
+
+Value draw_value(Rng& rng, ValueDist dist) {
+  switch (dist) {
+    case ValueDist::kOnes:
+      return 1.0;
+    case ValueDist::kUniform01:
+      return 1.0 - rng.next_double();  // (0, 1]: avoid explicit zeros
+    case ValueDist::kUniformInt:
+      return static_cast<Value>(1 + rng.next_below(16));
+  }
+  return 1.0;
+}
+
+std::uint64_t pack(Index row, Index col) {
+  return (static_cast<std::uint64_t>(row) << 32) | col;
+}
+
+/// Draws until `nnz` distinct coordinates are collected. `sample` yields a
+/// (row, col) pair per call. Rejection is cheap as long as the target
+/// density is well below 1, which holds for every workload in the paper
+/// (densities <= 5e-3).
+template <class Sampler>
+Coo fill_distinct(Index rows, Index cols, std::uint64_t nnz, Rng& rng,
+                  ValueDist dist, Sampler&& sample) {
+  const double cells = static_cast<double>(rows) * static_cast<double>(cols);
+  COSPARSE_REQUIRE(static_cast<double>(nnz) <= cells,
+                   "requested nnz exceeds matrix capacity");
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz) * 2);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz));
+  // For near-full matrices rejection would stall; guard with a generous cap
+  // and fall back to dense enumeration (only reachable in tests).
+  const std::uint64_t max_draws = nnz * 64 + 1024;
+  std::uint64_t draws = 0;
+  while (triplets.size() < nnz && draws < max_draws) {
+    ++draws;
+    auto [r, c] = sample();
+    if (seen.insert(pack(r, c)).second) {
+      triplets.push_back({r, c, draw_value(rng, dist)});
+    }
+  }
+  if (triplets.size() < nnz) {
+    // Deterministic fallback: enumerate remaining empty cells in order.
+    for (Index r = 0; r < rows && triplets.size() < nnz; ++r) {
+      for (Index c = 0; c < cols && triplets.size() < nnz; ++c) {
+        if (seen.insert(pack(r, c)).second) {
+          triplets.push_back({r, c, draw_value(rng, dist)});
+        }
+      }
+    }
+  }
+  return Coo(rows, cols, std::move(triplets));
+}
+
+/// Cumulative-weight sampler over a power-law weight profile.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(Index n, double exponent) : cum_(n) {
+    double acc = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      acc += std::pow(static_cast<double>(i) + 1.0, -exponent);
+      cum_[i] = acc;
+    }
+    total_ = acc;
+  }
+
+  Index draw(Rng& rng) const {
+    const double u = rng.next_double() * total_;
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+    return static_cast<Index>(std::min<std::size_t>(
+        static_cast<std::size_t>(it - cum_.begin()), cum_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cum_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+Coo uniform_random(Index rows, Index cols, std::uint64_t nnz,
+                   std::uint64_t seed, ValueDist dist) {
+  Rng rng(seed);
+  return fill_distinct(rows, cols, nnz, rng, dist, [&] {
+    const Index r = static_cast<Index>(rng.next_below(rows));
+    const Index c = static_cast<Index>(rng.next_below(cols));
+    return std::pair<Index, Index>{r, c};
+  });
+}
+
+Coo power_law(Index rows, Index cols, std::uint64_t nnz, double beta,
+              std::uint64_t seed, ValueDist dist) {
+  COSPARSE_REQUIRE(beta > 1.0, "power-law exponent beta must exceed 1");
+  Rng rng(seed);
+  // Chung-Lu: weight exponent is 1/(beta-1) for a degree exponent of beta.
+  const double exponent = 1.0 / (beta - 1.0);
+  PowerLawSampler row_sampler(rows, exponent);
+  PowerLawSampler col_sampler(cols, exponent);
+  // Sampled indices are permuted so that the heavy vertices are not all at
+  // the front of the index space (matches how NetworkX relabels nodes).
+  std::vector<Index> row_perm(rows), col_perm(cols);
+  for (Index i = 0; i < rows; ++i) row_perm[i] = i;
+  for (Index i = 0; i < cols; ++i) col_perm[i] = i;
+  for (Index i = rows; i > 1; --i) {
+    std::swap(row_perm[i - 1],
+              row_perm[static_cast<Index>(rng.next_below(i))]);
+  }
+  for (Index i = cols; i > 1; --i) {
+    std::swap(col_perm[i - 1],
+              col_perm[static_cast<Index>(rng.next_below(i))]);
+  }
+  return fill_distinct(rows, cols, nnz, rng, dist, [&] {
+    const Index r = row_perm[row_sampler.draw(rng)];
+    const Index c = col_perm[col_sampler.draw(rng)];
+    return std::pair<Index, Index>{r, c};
+  });
+}
+
+Coo rmat(std::uint32_t scale, std::uint64_t nnz, double a, double b, double c,
+         std::uint64_t seed, ValueDist dist) {
+  COSPARSE_REQUIRE(scale > 0 && scale < 31, "R-MAT scale out of range");
+  const double d = 1.0 - a - b - c;
+  COSPARSE_REQUIRE(a >= 0 && b >= 0 && c >= 0 && d >= -1e-9,
+                   "R-MAT probabilities must sum to <= 1");
+  const Index n = Index{1} << scale;
+  Rng rng(seed);
+  return fill_distinct(n, n, nnz, rng, dist, [&] {
+    Index r = 0, col = 0;
+    for (std::uint32_t level = 0; level < scale; ++level) {
+      const double u = rng.next_double();
+      r <<= 1;
+      col <<= 1;
+      if (u < a) {
+        // top-left quadrant: nothing to add
+      } else if (u < a + b) {
+        col |= 1;
+      } else if (u < a + b + c) {
+        r |= 1;
+      } else {
+        r |= 1;
+        col |= 1;
+      }
+    }
+    return std::pair<Index, Index>{r, col};
+  });
+}
+
+SparseVector random_sparse_vector(Index dimension, double density,
+                                  std::uint64_t seed, ValueDist dist) {
+  COSPARSE_REQUIRE(density >= 0.0 && density <= 1.0,
+                   "vector density must be in [0, 1]");
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(density * static_cast<double>(dimension)));
+  Rng rng(seed);
+  std::unordered_set<Index> chosen;
+  chosen.reserve(static_cast<std::size_t>(target) * 2);
+  while (chosen.size() < target) {
+    chosen.insert(static_cast<Index>(rng.next_below(dimension)));
+  }
+  std::vector<Index> idx(chosen.begin(), chosen.end());
+  std::sort(idx.begin(), idx.end());
+  SparseVector out(dimension);
+  for (Index i : idx) out.push_back(i, draw_value(rng, dist));
+  return out;
+}
+
+DenseVector random_dense_vector(Index dimension, std::uint64_t seed,
+                                ValueDist dist) {
+  Rng rng(seed);
+  DenseVector out(dimension);
+  for (Index i = 0; i < dimension; ++i) out[i] = draw_value(rng, dist);
+  return out;
+}
+
+}  // namespace cosparse::sparse

@@ -1,0 +1,22 @@
+#include "sparse/graph.h"
+
+#include "common/error.h"
+
+namespace cosparse::sparse {
+
+Graph::Graph(std::string name, Coo adjacency, bool directed)
+    : name_(std::move(name)),
+      adjacency_(std::move(adjacency)),
+      directed_(directed) {
+  COSPARSE_REQUIRE(adjacency_.rows() == adjacency_.cols(),
+                   "graph adjacency matrix must be square");
+  out_degrees_.assign(adjacency_.rows(), 0);
+  for (const auto& t : adjacency_.triplets()) ++out_degrees_[t.row];
+}
+
+double Graph::average_degree() const {
+  if (num_vertices() == 0) return 0.0;
+  return static_cast<double>(num_edges()) / static_cast<double>(num_vertices());
+}
+
+}  // namespace cosparse::sparse

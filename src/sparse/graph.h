@@ -1,0 +1,45 @@
+// Graph wrapper over the sparse formats.
+//
+// A Graph owns the adjacency matrix A (A[u][v] = weight of edge u -> v) and
+// derived data the algorithm layer needs: out-degrees (PageRank divides by
+// deg(src), paper Table I) and directedness. CoSPARSE iterates
+// f_next = SpMV(G^T, f) (paper Fig. 2), so the engine transposes once at
+// construction.
+#pragma once
+
+#include <string>
+
+#include "sparse/formats.h"
+
+namespace cosparse::sparse {
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::string name, Coo adjacency, bool directed);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Index num_vertices() const { return adjacency_.rows(); }
+  [[nodiscard]] std::size_t num_edges() const { return adjacency_.nnz(); }
+  [[nodiscard]] bool directed() const { return directed_; }
+  [[nodiscard]] double density() const { return adjacency_.density(); }
+
+  /// Adjacency matrix A, row u holding u's out-edges.
+  [[nodiscard]] const Coo& adjacency() const { return adjacency_; }
+
+  /// Out-degree of every vertex (number of out-edges).
+  [[nodiscard]] const std::vector<Index>& out_degrees() const {
+    return out_degrees_;
+  }
+
+  /// Average out-degree.
+  [[nodiscard]] double average_degree() const;
+
+ private:
+  std::string name_;
+  Coo adjacency_;
+  bool directed_ = true;
+  std::vector<Index> out_degrees_;
+};
+
+}  // namespace cosparse::sparse

@@ -1,0 +1,57 @@
+#include "sparse/vector.h"
+
+#include <algorithm>
+
+namespace cosparse::sparse {
+
+SparseVector::SparseVector(Index dimension, std::vector<VectorEntry> entries)
+    : dimension_(dimension) {
+  assign(std::move(entries));
+}
+
+void SparseVector::push_back(Index index, Value value) {
+  COSPARSE_CHECK_MSG(index < dimension_, "sparse vector index " << index
+                                          << " out of range " << dimension_);
+  COSPARSE_CHECK_MSG(entries_.empty() || entries_.back().index < index,
+                     "sparse vector entries must be appended in strictly "
+                     "increasing index order");
+  entries_.push_back({index, value});
+}
+
+void SparseVector::assign(std::vector<VectorEntry> entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    COSPARSE_REQUIRE(entries[i].index < dimension_,
+                     "sparse vector entry index out of range");
+    COSPARSE_REQUIRE(i == 0 || entries[i - 1].index < entries[i].index,
+                     "sparse vector entries must be sorted and unique");
+  }
+  entries_ = std::move(entries);
+}
+
+std::size_t DenseVector::count_active(Value identity) const {
+  return static_cast<std::size_t>(std::count_if(
+      values_.begin(), values_.end(),
+      [identity](Value v) { return v != identity; }));
+}
+
+double DenseVector::density(Value identity) const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(count_active(identity)) /
+         static_cast<double>(values_.size());
+}
+
+SparseVector to_sparse(const DenseVector& dense, Value identity) {
+  SparseVector out(dense.dimension());
+  for (Index i = 0; i < dense.dimension(); ++i) {
+    if (dense[i] != identity) out.push_back(i, dense[i]);
+  }
+  return out;
+}
+
+DenseVector to_dense(const SparseVector& sv, Value identity) {
+  DenseVector out(sv.dimension(), identity);
+  for (const auto& e : sv.entries()) out[e.index] = e.value;
+  return out;
+}
+
+}  // namespace cosparse::sparse

@@ -1,0 +1,97 @@
+// Dense and sparse vector representations.
+//
+// Graph frontiers in CoSPARSE flip between a dense array (inner-product
+// dataflow) and a sorted (index, value) list (outer-product dataflow); the
+// runtime converts between the two at iteration boundaries (paper §III-D.2)
+// and charges the conversion cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cosparse::sparse {
+
+/// One non-zero element of a sparse vector.
+struct VectorEntry {
+  Index index = 0;
+  Value value = 0;
+
+  friend bool operator==(const VectorEntry&, const VectorEntry&) = default;
+};
+
+/// Sparse vector: entries sorted by index, no duplicates, no explicit zeros
+/// required (explicit zeros are permitted — BFS frontiers store vertex ids
+/// with payload values that may legitimately be 0).
+class SparseVector {
+ public:
+  SparseVector() = default;
+  explicit SparseVector(Index dimension) : dimension_(dimension) {}
+  SparseVector(Index dimension, std::vector<VectorEntry> entries);
+
+  [[nodiscard]] Index dimension() const { return dimension_; }
+  [[nodiscard]] std::size_t nnz() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] double density() const {
+    return dimension_ == 0 ? 0.0
+                           : static_cast<double>(entries_.size()) /
+                                 static_cast<double>(dimension_);
+  }
+
+  [[nodiscard]] const std::vector<VectorEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Appends an entry; index must be strictly greater than the last one.
+  void push_back(Index index, Value value);
+
+  /// Bulk-assigns entries (validates ordering).
+  void assign(std::vector<VectorEntry> entries);
+
+  void clear() { entries_.clear(); }
+
+  friend bool operator==(const SparseVector&, const SparseVector&) = default;
+
+ private:
+  Index dimension_ = 0;
+  std::vector<VectorEntry> entries_;
+};
+
+/// Dense vector with an optional "active" interpretation: for graph
+/// frontiers, an element is active iff it differs from the algorithm's
+/// identity value (e.g. +inf for SSSP). Plain SpMV uses all elements.
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(Index dimension, Value fill = 0)
+      : values_(dimension, fill) {}
+  explicit DenseVector(std::vector<Value> values) : values_(std::move(values)) {}
+
+  [[nodiscard]] Index dimension() const {
+    return static_cast<Index>(values_.size());
+  }
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+  [[nodiscard]] std::vector<Value>& values() { return values_; }
+
+  Value& operator[](Index i) { return values_[i]; }
+  const Value& operator[](Index i) const { return values_[i]; }
+
+  /// Number of entries different from `identity` and the resulting density.
+  [[nodiscard]] std::size_t count_active(Value identity) const;
+  [[nodiscard]] double density(Value identity) const;
+
+  friend bool operator==(const DenseVector&, const DenseVector&) = default;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// dense -> sparse: keeps entries that differ from `identity`.
+SparseVector to_sparse(const DenseVector& dense, Value identity = 0);
+
+/// sparse -> dense: missing entries become `identity`.
+DenseVector to_dense(const SparseVector& sv, Value identity = 0);
+
+}  // namespace cosparse::sparse

@@ -1,0 +1,72 @@
+#include "baselines/cpu_spmv.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_model.h"
+#include "baselines/power.h"
+
+#include "common/error.h"
+#include "sparse/generate.h"
+
+namespace cosparse::baselines {
+namespace {
+
+TEST(CpuSpmv, MatchesNaiveReference) {
+  const auto coo = sparse::uniform_random(300, 250, 4000, 1,
+                                          sparse::ValueDist::kUniform01);
+  const auto m = sparse::coo_to_csr(coo);
+  const auto x = sparse::random_dense_vector(250, 2);
+  const auto res = cpu_spmv(m, x);
+  sparse::DenseVector want(300, 0.0);
+  for (const auto& t : coo.triplets()) want[t.row] += t.value * x[t.col];
+  for (Index r = 0; r < 300; ++r) EXPECT_NEAR(res.y[r], want[r], 1e-9);
+}
+
+TEST(CpuSpmv, SingleAndMultiThreadAgree) {
+  const auto coo = sparse::uniform_random(2000, 2000, 30000, 3);
+  const auto m = sparse::coo_to_csr(coo);
+  const auto x = sparse::random_dense_vector(2000, 4);
+  const auto one = cpu_spmv(m, x, 1, 1);
+  const auto four = cpu_spmv(m, x, 4, 1);
+  EXPECT_EQ(one.y, four.y);
+}
+
+TEST(CpuSpmv, TimesAndEnergyPositive) {
+  const auto m = sparse::coo_to_csr(sparse::uniform_random(500, 500, 5000, 5));
+  const auto x = sparse::random_dense_vector(500, 6);
+  const auto res = cpu_spmv(m, x);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_NEAR(res.joules, res.seconds * kCpuI7Watts, 1e-12);
+}
+
+TEST(CpuSpmv, DimensionMismatchThrows) {
+  const auto m = sparse::coo_to_csr(sparse::uniform_random(10, 10, 20, 7));
+  const auto x = sparse::random_dense_vector(5, 8);
+  EXPECT_THROW(cpu_spmv(m, x), Error);
+}
+
+TEST(GpuModel, TimeAndEnergyPositive) {
+  const auto res = gpu_spmv_model(100000, 100000, 2000000);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_NEAR(res.joules, res.seconds * 250.0, 1e-12);
+  EXPECT_GE(res.utilization, 0.12);
+  EXPECT_LE(res.utilization, 0.71);
+}
+
+TEST(GpuModel, MoreWorkTakesLonger) {
+  const auto small = gpu_spmv_model(10000, 10000, 100000);
+  const auto big = gpu_spmv_model(10000, 10000, 10000000);
+  EXPECT_GT(big.seconds, small.seconds);
+}
+
+TEST(GpuModel, ShortRowsPinUtilizationLow) {
+  // ~2 nnz/row: divergent warps, utilization near the 12% floor.
+  const auto sparse_rows = gpu_spmv_model(1000000, 1000000, 2000000);
+  EXPECT_NEAR(sparse_rows.utilization, 0.12, 0.02);
+  // ~1000 nnz/row: coalesced, near the 71% ceiling.
+  const auto dense_rows = gpu_spmv_model(10000, 10000, 10000000);
+  EXPECT_GT(dense_rows.utilization, 0.5);
+}
+
+}  // namespace
+}  // namespace cosparse::baselines

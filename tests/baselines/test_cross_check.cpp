@@ -1,0 +1,99 @@
+// Integration cross-checks: the CoSPARSE (simulated) algorithm results
+// must agree with the mini-Ligra (native) baseline on the same inputs —
+// this is the end-to-end guarantee behind every Fig. 10 comparison.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ligra/apps.h"
+#include "graph/algorithms.h"
+#include "sparse/datasets.h"
+#include "sparse/generate.h"
+#include "sparse/graph.h"
+
+namespace cosparse {
+namespace {
+
+using baselines::ligra::LigraGraph;
+using runtime::Engine;
+using sparse::Coo;
+
+struct CrossCheckInputs {
+  Coo adj;
+  sparse::Graph graph;
+  LigraGraph lg;
+
+  explicit CrossCheckInputs(Coo a)
+      : adj(a), graph("x", a, true), lg(LigraGraph::build(a)) {}
+};
+
+CrossCheckInputs dataset_inputs(const std::string& name, unsigned scale) {
+  sparse::DatasetRegistry reg;
+  return CrossCheckInputs(reg.load(name, scale).adjacency());
+}
+
+TEST(CrossCheck, BfsLevelsAgreeOnTwitterStandIn) {
+  const auto in = dataset_inputs("twitter", 64);
+  Engine eng(in.adj, sim::SystemConfig::transmuter(2, 8));
+  const auto ours = graph::bfs(eng, 0);
+  const auto theirs = baselines::ligra::ligra_bfs(in.lg, 0);
+  EXPECT_EQ(ours.level, theirs.level);
+}
+
+TEST(CrossCheck, BfsLevelsAgreeOnVspStandIn) {
+  const auto in = dataset_inputs("vsp", 32);
+  Engine eng(in.adj, sim::SystemConfig::transmuter(4, 4));
+  const auto ours = graph::bfs(eng, 7);
+  const auto theirs = baselines::ligra::ligra_bfs(in.lg, 7);
+  EXPECT_EQ(ours.level, theirs.level);
+}
+
+TEST(CrossCheck, SsspDistancesAgree) {
+  const auto in = CrossCheckInputs(sparse::power_law(
+      1500, 1500, 20000, 2.2, 11, sparse::ValueDist::kUniformInt));
+  Engine eng(in.adj, sim::SystemConfig::transmuter(2, 8));
+  const auto ours = graph::sssp(eng, 3);
+  const auto theirs = baselines::ligra::ligra_sssp(in.lg, 3);
+  ASSERT_EQ(ours.dist.size(), theirs.dist.size());
+  for (std::size_t v = 0; v < ours.dist.size(); ++v) {
+    if (std::isinf(theirs.dist[v])) {
+      EXPECT_TRUE(std::isinf(ours.dist[v])) << v;
+    } else {
+      EXPECT_DOUBLE_EQ(ours.dist[v], theirs.dist[v]) << v;
+    }
+  }
+}
+
+TEST(CrossCheck, PageRankAgrees) {
+  const auto in = dataset_inputs("youtube", 256);
+  Engine eng(in.adj, sim::SystemConfig::transmuter(2, 8));
+  graph::PageRankOptions opts;
+  opts.max_iterations = 10;
+  opts.tolerance = 0.0;
+  const auto ours = graph::pagerank(eng, in.graph.out_degrees(), opts);
+  const auto theirs =
+      baselines::ligra::ligra_pagerank(in.lg, 0.85, 0.0, 10);
+  ASSERT_EQ(ours.rank.size(), theirs.rank.size());
+  for (std::size_t v = 0; v < ours.rank.size(); ++v) {
+    EXPECT_NEAR(ours.rank[v], theirs.rank[v], 1e-10) << v;
+  }
+}
+
+TEST(CrossCheck, CfLatentFactorsAgree) {
+  const auto in = CrossCheckInputs(sparse::uniform_random(
+      500, 500, 5000, 13, sparse::ValueDist::kUniform01));
+  Engine eng(in.adj, sim::SystemConfig::transmuter(2, 8));
+  graph::CfOptions opts;
+  opts.iterations = 5;
+  opts.seed = 21;
+  const auto ours = graph::cf(eng, in.adj, opts);
+  const auto theirs = baselines::ligra::ligra_cf(in.lg, 5, opts.lambda,
+                                                 opts.beta, opts.seed);
+  ASSERT_EQ(ours.latent.size(), theirs.latent.size());
+  for (std::size_t v = 0; v < ours.latent.size(); ++v) {
+    EXPECT_NEAR(ours.latent[v], theirs.latent[v], 1e-9) << v;
+  }
+}
+
+}  // namespace
+}  // namespace cosparse

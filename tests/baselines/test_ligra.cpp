@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ligra/apps.h"
+#include "baselines/ligra/edge_map.h"
+#include "sparse/generate.h"
+
+// Reuse the graph-layer textbook references.
+#include "../graph/host_reference.h"
+
+namespace cosparse::baselines::ligra {
+namespace {
+
+using cosparse::graph::testing::reference_bfs;
+using cosparse::graph::testing::reference_pagerank;
+using cosparse::graph::testing::reference_sssp;
+using sparse::Coo;
+
+TEST(VertexSubset, RepresentationConversionsPreserveMembers) {
+  auto s = VertexSubset::from_sparse(10, {1, 4, 7});
+  EXPECT_EQ(s.size(), 3u);
+  s.to_dense();
+  EXPECT_TRUE(s.is_dense());
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(5));
+  s.to_sparse();
+  EXPECT_FALSE(s.is_dense());
+  EXPECT_EQ(s.sparse_ids(), (std::vector<Index>{1, 4, 7}));
+}
+
+TEST(EdgeMap, SparseAndDenseDirectionsAgree) {
+  const Coo adj = sparse::uniform_random(500, 500, 6000, 1);
+  const LigraGraph g = LigraGraph::build(adj);
+
+  struct CollectF {
+    std::vector<std::uint8_t>* seen;
+    bool update(Index, Index v, Value) const {
+      const bool first = !(*seen)[v];
+      (*seen)[v] = 1;
+      return first;
+    }
+    bool update_atomic(Index u, Index v, Value w) const {
+      return update(u, v, w);
+    }
+    bool cond(Index) const { return true; }
+  };
+
+  std::vector<std::uint8_t> seen_sparse(500, 0), seen_dense(500, 0);
+  auto f1 = VertexSubset::from_sparse(500, {0, 1, 2, 3, 4});
+  auto f2 = VertexSubset::from_sparse(500, {0, 1, 2, 3, 4});
+  EdgeMapOptions sparse_opts, dense_opts;
+  sparse_opts.force_sparse = true;
+  sparse_opts.threads = 1;
+  dense_opts.force_dense = true;
+  dense_opts.threads = 1;
+  auto out_s = edge_map(g, f1, CollectF{&seen_sparse}, sparse_opts);
+  auto out_d = edge_map(g, f2, CollectF{&seen_dense}, dense_opts);
+  EXPECT_EQ(seen_sparse, seen_dense);
+  EXPECT_EQ(out_s.size(), out_d.size());
+}
+
+TEST(EdgeMap, ThresholdSwitchesDirection) {
+  const Coo adj = sparse::uniform_random(1000, 1000, 20000, 2);
+  const LigraGraph g = LigraGraph::build(adj);
+  struct NopF {
+    bool update(Index, Index, Value) const { return false; }
+    bool update_atomic(Index, Index, Value) const { return false; }
+    bool cond(Index) const { return true; }
+  };
+  // Tiny frontier: work << |E|/20 -> output stays sparse-built.
+  auto small = VertexSubset::single(1000, 0);
+  auto out_small = edge_map(g, small, NopF{});
+  EXPECT_FALSE(out_small.is_dense());
+  // Huge frontier: work > |E|/20 -> dense traversal.
+  std::vector<Index> all(1000);
+  for (Index v = 0; v < 1000; ++v) all[v] = v;
+  auto big = VertexSubset::from_sparse(1000, std::move(all));
+  auto out_big = edge_map(g, big, NopF{});
+  EXPECT_TRUE(out_big.is_dense());
+}
+
+TEST(LigraBfs, MatchesReference) {
+  const Coo adj = sparse::power_law(1500, 1500, 18000, 2.2, 3);
+  const LigraGraph g = LigraGraph::build(adj);
+  const auto got = ligra_bfs(g, 4);
+  EXPECT_EQ(got.level, reference_bfs(adj, 4));
+}
+
+TEST(LigraBfs, ParentsFormValidTree) {
+  const Coo adj = sparse::uniform_random(800, 800, 8000, 4);
+  const LigraGraph g = LigraGraph::build(adj);
+  const auto got = ligra_bfs(g, 0);
+  for (Index v = 0; v < 800; ++v) {
+    if (got.level[v] > 0) {
+      const auto p = static_cast<Index>(got.parent[v]);
+      EXPECT_EQ(got.level[v], got.level[p] + 1) << "vertex " << v;
+    }
+  }
+}
+
+TEST(LigraSssp, MatchesDijkstra) {
+  const Coo adj = sparse::uniform_random(1000, 1000, 10000, 5,
+                                         sparse::ValueDist::kUniformInt);
+  const LigraGraph g = LigraGraph::build(adj);
+  const auto got = ligra_sssp(g, 0);
+  const auto want = reference_sssp(adj, 0);
+  for (Index v = 0; v < 1000; ++v) {
+    if (std::isinf(want[v])) {
+      EXPECT_TRUE(std::isinf(got.dist[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(got.dist[v], want[v]);
+    }
+  }
+}
+
+TEST(LigraPageRank, MatchesPowerIteration) {
+  const Coo adj = sparse::uniform_random(600, 600, 6000, 6);
+  const LigraGraph g = LigraGraph::build(adj);
+  const auto got = ligra_pagerank(g, 0.85, 0.0, 12);
+  const auto want = reference_pagerank(adj, 0.85, 12);
+  for (Index v = 0; v < 600; ++v) {
+    EXPECT_NEAR(got.rank[v], want[v], 1e-12);
+  }
+}
+
+TEST(LigraCf, LossDecreases) {
+  const Coo adj = sparse::uniform_random(300, 300, 3000, 7,
+                                         sparse::ValueDist::kUniform01);
+  const LigraGraph g = LigraGraph::build(adj);
+  const auto got = ligra_cf(g, 6);
+  for (std::size_t i = 1; i < got.loss_per_iteration.size(); ++i) {
+    EXPECT_LT(got.loss_per_iteration[i], got.loss_per_iteration[i - 1]);
+  }
+}
+
+TEST(LigraApps, CostsPopulated) {
+  const Coo adj = sparse::uniform_random(400, 400, 4000, 8);
+  const LigraGraph g = LigraGraph::build(adj);
+  const auto b = ligra_bfs(g, 0);
+  EXPECT_GT(b.costs.seconds, 0.0);
+  EXPECT_GT(b.costs.joules, 0.0);
+  EXPECT_GT(b.costs.iterations, 0u);
+}
+
+}  // namespace
+}  // namespace cosparse::baselines::ligra

@@ -1,0 +1,49 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace cosparse {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(COSPARSE_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(COSPARSE_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsWithLocation) {
+  try {
+    COSPARSE_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CHECK failed"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageStreamsArguments) {
+  try {
+    const int got = 7;
+    COSPARSE_CHECK_MSG(got == 8, "expected 8, got " << got);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 8, got 7"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, RequireAliasesCheck) {
+  EXPECT_THROW(COSPARSE_REQUIRE(false, "input invalid"), Error);
+}
+
+TEST(Error, IsRuntimeError) {
+  // Callers can catch the standard hierarchy.
+  try {
+    throw Error("boom");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+}  // namespace
+}  // namespace cosparse

@@ -1,0 +1,86 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cosparse {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeCoversInterval) {
+  Rng rng(13);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double(5.0, 9.0);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    EXPECT_GE(d, 5.0);
+    EXPECT_LT(d, 9.0);
+  }
+  EXPECT_LT(lo, 5.2);
+  EXPECT_GT(hi, 8.8);
+}
+
+TEST(Rng, UniformityChiSquareCoarse) {
+  // 16 buckets over next_below(16): chi-square should be far from blowup.
+  Rng rng(1234);
+  std::vector<int> buckets(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(16)];
+  double chi2 = 0;
+  const double expected = n / 16.0;
+  for (int b : buckets) {
+    chi2 += (b - expected) * (b - expected) / expected;
+  }
+  // df=15; p=0.001 critical value ~37.7. Deterministic seed, so no flake.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(99);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace cosparse

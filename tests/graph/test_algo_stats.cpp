@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace cosparse::graph {
+namespace {
+
+runtime::IterationRecord record(runtime::SwConfig sw, bool sw_sw, bool hw_sw,
+                                Cycles cycles) {
+  runtime::IterationRecord r;
+  r.sw = sw;
+  r.sw_switched = sw_sw;
+  r.hw_switched = hw_sw;
+  r.cycles = cycles;
+  return r;
+}
+
+TEST(AlgoStats, SwitchCounters) {
+  AlgoStats s;
+  s.per_iteration = {
+      record(runtime::SwConfig::kOP, false, true, 10),
+      record(runtime::SwConfig::kIP, true, true, 20),
+      record(runtime::SwConfig::kIP, false, false, 30),
+      record(runtime::SwConfig::kOP, true, true, 5),
+  };
+  EXPECT_EQ(s.sw_switches(), 2u);
+  EXPECT_EQ(s.hw_switches(), 3u);
+}
+
+TEST(AlgoStats, TimeEnergyPowerConversions) {
+  AlgoStats s;
+  s.cycles = 2'000'000;     // 2 ms at 1 GHz
+  s.energy_pj = 4e9;        // 4 mJ
+  EXPECT_DOUBLE_EQ(s.seconds(1.0), 2e-3);
+  EXPECT_DOUBLE_EQ(s.joules(), 4e-3);
+  EXPECT_DOUBLE_EQ(s.watts(1.0), 2.0);
+  // A 2 GHz clock halves the wall time and doubles power.
+  EXPECT_DOUBLE_EQ(s.seconds(2.0), 1e-3);
+  EXPECT_DOUBLE_EQ(s.watts(2.0), 4.0);
+}
+
+TEST(AlgoStats, ZeroCyclesZeroWatts) {
+  AlgoStats s;
+  EXPECT_DOUBLE_EQ(s.watts(), 0.0);
+}
+
+}  // namespace
+}  // namespace cosparse::graph

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/algorithms.h"
+#include "host_reference.h"
+#include "sparse/datasets.h"
+#include "sparse/generate.h"
+
+namespace cosparse::graph {
+namespace {
+
+using runtime::Engine;
+using sparse::Coo;
+
+TEST(Bfs, MatchesReferenceOnUniformGraph) {
+  const Coo adj = sparse::uniform_random(1500, 1500, 12000, 1);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 8));
+  const auto got = bfs(eng, 0);
+  EXPECT_EQ(got.level, testing::reference_bfs(adj, 0));
+}
+
+TEST(Bfs, MatchesReferenceOnPowerLawGraph) {
+  const Coo adj = sparse::power_law(1200, 1200, 15000, 2.2, 2);
+  Engine eng(adj, sim::SystemConfig::transmuter(4, 4));
+  const auto got = bfs(eng, 5);
+  EXPECT_EQ(got.level, testing::reference_bfs(adj, 5));
+}
+
+TEST(Bfs, MatchesReferenceOnDatasetStandIn) {
+  sparse::DatasetRegistry reg;
+  const auto g = reg.load("vsp", 32);
+  Engine eng(g.adjacency(), sim::SystemConfig::transmuter(2, 8));
+  const auto got = bfs(eng, 3);
+  EXPECT_EQ(got.level, testing::reference_bfs(g.adjacency(), 3));
+}
+
+TEST(Bfs, SourceHasLevelZero) {
+  const Coo adj = sparse::uniform_random(100, 100, 600, 3);
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  const auto got = bfs(eng, 42);
+  EXPECT_EQ(got.level[42], 0);
+}
+
+TEST(Bfs, IsolatedSourceTerminatesImmediately) {
+  // Vertex 9 has no out-edges.
+  Coo adj(10, 10, {{0, 1, 1.0}, {1, 2, 1.0}});
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  const auto got = bfs(eng, 9);
+  EXPECT_EQ(got.level[9], 0);
+  for (Index v = 0; v < 9; ++v) EXPECT_EQ(got.level[v], -1);
+}
+
+TEST(Bfs, DisconnectedComponentUnreachable) {
+  Coo adj(6, 6, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}});
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  const auto got = bfs(eng, 0);
+  EXPECT_EQ(got.level[2], 2);
+  EXPECT_EQ(got.level[3], -1);
+  EXPECT_EQ(got.level[5], -1);
+}
+
+TEST(Bfs, OutOfRangeSourceThrows) {
+  const Coo adj = sparse::uniform_random(10, 10, 20, 4);
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  EXPECT_THROW(bfs(eng, 10), Error);
+}
+
+TEST(Bfs, StatsAccumulate) {
+  const Coo adj = sparse::uniform_random(2000, 2000, 40000, 5);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 8));
+  const auto got = bfs(eng, 0);
+  EXPECT_GT(got.stats.iterations, 1u);
+  EXPECT_GT(got.stats.cycles, 0u);
+  EXPECT_GT(got.stats.energy_pj, 0.0);
+  EXPECT_EQ(got.stats.per_iteration.size(), got.stats.iterations);
+}
+
+TEST(Bfs, ReconfiguresOnExpandingFrontier) {
+  // A well-connected random graph: the frontier balloons from 1 vertex to
+  // a large fraction of the graph, forcing at least one OP->IP switch.
+  const Coo adj = sparse::uniform_random(5000, 5000, 100000, 6);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 8));
+  const auto got = bfs(eng, 0);
+  EXPECT_GE(got.stats.sw_switches(), 1u);
+}
+
+TEST(Bfs, ResultIndependentOfSystemSize) {
+  const Coo adj = sparse::power_law(800, 800, 8000, 2.1, 7);
+  Engine a(adj, sim::SystemConfig::transmuter(1, 2));
+  Engine b(adj, sim::SystemConfig::transmuter(4, 8));
+  EXPECT_EQ(bfs(a, 1).level, bfs(b, 1).level);
+}
+
+}  // namespace
+}  // namespace cosparse::graph

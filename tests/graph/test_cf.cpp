@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "sparse/generate.h"
+
+namespace cosparse::graph {
+namespace {
+
+using runtime::Engine;
+using sparse::Coo;
+
+Coo ratings_matrix(Index n = 400, std::uint64_t nnz = 4000,
+                   std::uint64_t seed = 1) {
+  // Ratings in (0, 1]: CF factorizes them with rank-1 latent factors.
+  return sparse::uniform_random(n, n, nnz, seed,
+                                sparse::ValueDist::kUniform01);
+}
+
+TEST(Cf, LossDecreasesMonotonically) {
+  const Coo r = ratings_matrix();
+  Engine eng(r, sim::SystemConfig::transmuter(2, 8));
+  CfOptions opts;
+  opts.iterations = 8;
+  const auto got = cf(eng, r, opts);
+  ASSERT_EQ(got.loss_per_iteration.size(), 8u);
+  for (std::size_t i = 1; i < got.loss_per_iteration.size(); ++i) {
+    EXPECT_LT(got.loss_per_iteration[i], got.loss_per_iteration[i - 1])
+        << "iteration " << i;
+  }
+}
+
+TEST(Cf, AlwaysRunsInnerProduct) {
+  const Coo r = ratings_matrix();
+  Engine eng(r, sim::SystemConfig::transmuter(2, 8));
+  const auto got = cf(eng, r, {.iterations = 3});
+  for (const auto& rec : got.stats.per_iteration) {
+    EXPECT_EQ(rec.sw, runtime::SwConfig::kIP);
+    EXPECT_FALSE(rec.converted_frontier);
+  }
+  (void)got;
+}
+
+TEST(Cf, DeterministicForSameSeed) {
+  const Coo r = ratings_matrix();
+  Engine a(r, sim::SystemConfig::transmuter(2, 4));
+  Engine b(r, sim::SystemConfig::transmuter(2, 4));
+  const auto ra = cf(a, r, {.iterations = 4, .seed = 9});
+  const auto rb = cf(b, r, {.iterations = 4, .seed = 9});
+  EXPECT_EQ(ra.latent, rb.latent);
+  const auto rc = cf(a, r, {.iterations = 4, .seed = 10});
+  EXPECT_NE(ra.latent, rc.latent);
+}
+
+TEST(Cf, LatentFactorsApproximateRatings) {
+  // A perfectly factorizable matrix: ratings = u_i * u_j for hidden u.
+  const Index n = 100;
+  std::vector<double> hidden(n);
+  Rng rng(3);
+  for (Index v = 0; v < n; ++v) hidden[v] = 0.4 + 0.4 * rng.next_double();
+  std::vector<sparse::Triplet> tri;
+  Rng pick(4);
+  for (int k = 0; k < 1800; ++k) {
+    const auto i = static_cast<Index>(pick.next_below(n));
+    const auto j = static_cast<Index>(pick.next_below(n));
+    tri.push_back({i, j, hidden[i] * hidden[j]});
+  }
+  const Coo r(n, n, tri);
+  Engine eng(r, sim::SystemConfig::transmuter(2, 4));
+  CfOptions opts;
+  opts.iterations = 200;
+  opts.beta = 0.05;
+  opts.lambda = 0.0;
+  const auto got = cf(eng, r, opts);
+  // Table I's CF only descends the destination half of the gradient, so a
+  // perfect fit is not the fixpoint; require a small normalized error and
+  // an order-of-magnitude loss reduction.
+  double err = 0.0, base = 0.0;
+  for (const auto& t : r.triplets()) {
+    const double e = t.value - got.latent[t.row] * got.latent[t.col];
+    err += e * e;
+    base += t.value * t.value;
+  }
+  EXPECT_LT(err / base, 0.10);
+  ASSERT_FALSE(got.loss_per_iteration.empty());
+  EXPECT_LT(got.loss_per_iteration.back(),
+            0.2 * got.loss_per_iteration.front());
+}
+
+TEST(Cf, ResultIndependentOfSystemSize) {
+  const Coo r = ratings_matrix(200, 2000, 5);
+  Engine a(r, sim::SystemConfig::transmuter(1, 2));
+  Engine b(r, sim::SystemConfig::transmuter(4, 8));
+  const auto ra = cf(a, r, {.iterations = 5});
+  const auto rb = cf(b, r, {.iterations = 5});
+  ASSERT_EQ(ra.latent.size(), rb.latent.size());
+  for (std::size_t v = 0; v < ra.latent.size(); ++v) {
+    EXPECT_NEAR(ra.latent[v], rb.latent[v], 1e-9);
+  }
+}
+
+TEST(Cf, MismatchedRatingsMatrixThrows) {
+  const Coo r = ratings_matrix(100, 1000, 6);
+  const Coo other = ratings_matrix(50, 400, 7);
+  Engine eng(r, sim::SystemConfig::transmuter(1, 4));
+  EXPECT_THROW(cf(eng, other, {}), Error);
+}
+
+}  // namespace
+}  // namespace cosparse::graph

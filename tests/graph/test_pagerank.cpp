@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "host_reference.h"
+#include "sparse/datasets.h"
+#include "sparse/generate.h"
+#include "sparse/graph.h"
+
+namespace cosparse::graph {
+namespace {
+
+using runtime::Engine;
+using sparse::Coo;
+
+TEST(PageRank, MatchesPowerIteration) {
+  const Coo adj = sparse::uniform_random(800, 800, 8000, 1);
+  const sparse::Graph g("t", adj, true);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 8));
+  PageRankOptions opts;
+  opts.max_iterations = 15;
+  opts.tolerance = 0.0;  // run all 15 to match the reference exactly
+  const auto got = pagerank(eng, g.out_degrees(), opts);
+  const auto want = testing::reference_pagerank(adj, 0.85, 15);
+  for (Index v = 0; v < 800; ++v) {
+    EXPECT_NEAR(got.rank[v], want[v], 1e-12) << "vertex " << v;
+  }
+}
+
+TEST(PageRank, AlwaysRunsInnerProduct) {
+  // PR vectors are dense; the runtime must never pick OP (paper §III-D.2).
+  const Coo adj = sparse::power_law(500, 500, 6000, 2.2, 2);
+  const sparse::Graph g("t", adj, true);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 8));
+  const auto got = pagerank(eng, g.out_degrees());
+  for (const auto& rec : got.stats.per_iteration) {
+    EXPECT_EQ(rec.sw, runtime::SwConfig::kIP);
+    EXPECT_FALSE(rec.converted_frontier);
+  }
+  (void)got;
+}
+
+TEST(PageRank, HighDegreeVertexRanksHigher) {
+  // Star graph: everyone points at vertex 0.
+  std::vector<sparse::Triplet> tri;
+  for (Index v = 1; v < 50; ++v) tri.push_back({v, 0, 1.0});
+  const Coo adj(50, 50, tri);
+  const sparse::Graph g("star", adj, true);
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  const auto got = pagerank(eng, g.out_degrees());
+  for (Index v = 1; v < 50; ++v) EXPECT_GT(got.rank[0], got.rank[v]);
+}
+
+TEST(PageRank, ConvergesUnderTolerance) {
+  const Coo adj = sparse::uniform_random(400, 400, 4000, 3);
+  const sparse::Graph g("t", adj, true);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 4));
+  PageRankOptions opts;
+  opts.tolerance = 1e-4;
+  opts.max_iterations = 100;
+  const auto got = pagerank(eng, g.out_degrees(), opts);
+  EXPECT_LT(got.residual, 1e-4);
+  EXPECT_LT(got.stats.iterations, 100u);
+}
+
+TEST(PageRank, RanksArePositive) {
+  const Coo adj = sparse::power_law(300, 300, 3000, 2.1, 4);
+  const sparse::Graph g("t", adj, true);
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  const auto got = pagerank(eng, g.out_degrees());
+  for (Value r : got.rank) EXPECT_GT(r, 0.0);
+}
+
+TEST(PageRank, DegreeSizeMismatchThrows) {
+  const Coo adj = sparse::uniform_random(100, 100, 500, 5);
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  std::vector<Index> wrong(50, 1);
+  EXPECT_THROW(pagerank(eng, wrong), Error);
+}
+
+TEST(PageRank, NoHardwareThrashWithinRun) {
+  // Dense iterations should settle into one configuration, not oscillate.
+  sparse::DatasetRegistry reg;
+  const auto g = reg.load("vsp", 16);
+  Engine eng(g.adjacency(), sim::SystemConfig::transmuter(2, 8));
+  const auto got = pagerank(eng, g.out_degrees());
+  EXPECT_LE(got.stats.hw_switches(), 1u);  // at most the initial switch
+}
+
+}  // namespace
+}  // namespace cosparse::graph

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "graph/algorithms.h"
+#include "host_reference.h"
+#include "sparse/datasets.h"
+#include "sparse/generate.h"
+
+namespace cosparse::graph {
+namespace {
+
+using runtime::Engine;
+using sparse::Coo;
+
+void expect_dist_equal(const std::vector<Value>& got,
+                       const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    if (std::isinf(want[v])) {
+      EXPECT_TRUE(std::isinf(got[v])) << "vertex " << v;
+    } else {
+      EXPECT_DOUBLE_EQ(got[v], want[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Sssp, MatchesDijkstraOnUniformGraph) {
+  const Coo adj =
+      sparse::uniform_random(1200, 1200, 10000, 1, sparse::ValueDist::kUniformInt);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 8));
+  const auto got = sssp(eng, 0);
+  expect_dist_equal(got.dist, testing::reference_sssp(adj, 0));
+}
+
+TEST(Sssp, MatchesDijkstraOnPowerLawGraph) {
+  const Coo adj =
+      sparse::power_law(1000, 1000, 12000, 2.2, 2, sparse::ValueDist::kUniformInt);
+  Engine eng(adj, sim::SystemConfig::transmuter(4, 4));
+  const auto got = sssp(eng, 7);
+  expect_dist_equal(got.dist, testing::reference_sssp(adj, 7));
+}
+
+TEST(Sssp, MatchesDijkstraOnDatasetStandIn) {
+  sparse::DatasetRegistry reg;
+  const auto g = reg.load("twitter", 64);
+  Engine eng(g.adjacency(), sim::SystemConfig::transmuter(2, 8));
+  const auto got = sssp(eng, 11);
+  expect_dist_equal(got.dist, testing::reference_sssp(g.adjacency(), 11));
+}
+
+TEST(Sssp, SourceDistanceZero) {
+  const Coo adj = sparse::uniform_random(50, 50, 200, 3,
+                                         sparse::ValueDist::kUniformInt);
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 4));
+  EXPECT_DOUBLE_EQ(sssp(eng, 13).dist[13], 0.0);
+}
+
+TEST(Sssp, TakesShorterMultiHopPath) {
+  // 0->2 direct costs 10; 0->1->2 costs 3.
+  Coo adj(3, 3, {{0, 2, 10.0}, {0, 1, 1.0}, {1, 2, 2.0}});
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 2));
+  const auto got = sssp(eng, 0);
+  EXPECT_DOUBLE_EQ(got.dist[2], 3.0);
+}
+
+TEST(Sssp, UnreachableVerticesStayInfinite) {
+  Coo adj(5, 5, {{0, 1, 1.0}});
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 2));
+  const auto got = sssp(eng, 0);
+  EXPECT_TRUE(std::isinf(got.dist[4]));
+}
+
+TEST(Sssp, MaxIterationsBoundsWork) {
+  // A 6-chain needs 5 relaxation rounds; capping at 2 leaves the tail inf.
+  Coo adj(6, 6,
+          {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}});
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 2));
+  const auto got = sssp(eng, 0, /*max_iterations=*/2);
+  EXPECT_DOUBLE_EQ(got.dist[2], 2.0);
+  EXPECT_TRUE(std::isinf(got.dist[5]));
+}
+
+TEST(Sssp, OutOfRangeSourceThrows) {
+  const Coo adj = sparse::uniform_random(10, 10, 20, 4);
+  Engine eng(adj, sim::SystemConfig::transmuter(1, 2));
+  EXPECT_THROW(sssp(eng, 99), Error);
+}
+
+TEST(Sssp, DensityRisesAndFallsAcrossIterations) {
+  // Paper §II-A (pokec anecdote): frontier density grows to a peak then
+  // collapses. Verify the same hump on a random graph.
+  const Coo adj = sparse::uniform_random(4000, 4000, 60000, 5,
+                                         sparse::ValueDist::kUniformInt);
+  Engine eng(adj, sim::SystemConfig::transmuter(2, 8));
+  const auto got = sssp(eng, 0);
+  const auto& iters = got.stats.per_iteration;
+  ASSERT_GE(iters.size(), 3u);
+  double peak = 0.0;
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < iters.size(); ++i) {
+    if (iters[i].density > peak) {
+      peak = iters[i].density;
+      peak_at = i;
+    }
+  }
+  EXPECT_GT(peak, iters.front().density);
+  EXPECT_GT(peak, iters.back().density);
+  EXPECT_GT(peak_at, 0u);
+  EXPECT_LT(peak_at, iters.size() - 1);
+}
+
+TEST(Sssp, ResultIndependentOfSystemSize) {
+  const Coo adj = sparse::power_law(600, 600, 7000, 2.3, 6,
+                                    sparse::ValueDist::kUniformInt);
+  Engine a(adj, sim::SystemConfig::transmuter(1, 2));
+  Engine b(adj, sim::SystemConfig::transmuter(4, 8));
+  const auto da = sssp(a, 2).dist;
+  const auto db = sssp(b, 2).dist;
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t v = 0; v < da.size(); ++v) {
+    if (std::isinf(da[v])) {
+      EXPECT_TRUE(std::isinf(db[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(da[v], db[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cosparse::graph

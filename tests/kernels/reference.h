@@ -1,0 +1,43 @@
+// Shared test helper: a straightforward host-side reference of the
+// semiring SpMV semantics both kernels must implement:
+//   y[r] = finalize( reduce over active sources c with M[r][c] != absent of
+//                    edge(M[r][c], x[c], x_old[r]) , x_old[r] )
+// computed only for rows touched by at least one active source.
+#pragma once
+
+#include <vector>
+
+#include "kernels/frontier.h"
+#include "kernels/semiring.h"
+#include "sparse/formats.h"
+
+namespace cosparse::kernels::testing {
+
+template <Semiring S>
+struct ReferenceResult {
+  sparse::DenseVector y;
+  std::vector<std::uint8_t> touched;
+};
+
+template <Semiring S>
+ReferenceResult<S> reference_spmv(const sparse::Coo& m,
+                                  const DenseFrontier& x, const S& sr) {
+  ReferenceResult<S> out;
+  out.y = sparse::DenseVector(m.rows(), sr.reduce_identity());
+  out.touched.assign(m.rows(), 0);
+  for (const auto& t : m.triplets()) {
+    if (!x.active[t.col]) continue;
+    const Value xdst = S::kUsesDst ? x.values[t.row] : Value{0};
+    out.y[t.row] =
+        sr.reduce(out.y[t.row], sr.edge(t.value, x.values[t.col], xdst));
+    out.touched[t.row] = 1;
+  }
+  for (Index r = 0; r < m.rows(); ++r) {
+    if (out.touched[r]) {
+      out.y[r] = sr.finalize(out.y[r], S::kUsesDst ? x.values[r] : Value{0});
+    }
+  }
+  return out;
+}
+
+}  // namespace cosparse::kernels::testing

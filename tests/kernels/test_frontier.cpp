@@ -1,0 +1,67 @@
+#include "kernels/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/semiring.h"
+#include "sparse/generate.h"
+
+namespace cosparse::kernels {
+namespace {
+
+TEST(DenseFrontier, StartsInactive) {
+  DenseFrontier f(10, kInf);
+  EXPECT_EQ(f.num_active, 0u);
+  EXPECT_DOUBLE_EQ(f.density(), 0.0);
+  EXPECT_FALSE(f.all_active());
+  for (Index i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.active[i], 0);
+    EXPECT_TRUE(std::isinf(f.values[i]));
+  }
+}
+
+TEST(DenseFrontier, SetActivatesOnce) {
+  DenseFrontier f(10, 0.0);
+  f.set(3, 1.5);
+  f.set(3, 2.5);  // same vertex twice: count stays 1
+  EXPECT_EQ(f.num_active, 1u);
+  EXPECT_DOUBLE_EQ(f.values[3], 2.5);
+  EXPECT_DOUBLE_EQ(f.density(), 0.1);
+}
+
+TEST(DenseFrontier, FromSparseRoundTrip) {
+  const auto sv = sparse::random_sparse_vector(500, 0.1, 3);
+  const auto f = DenseFrontier::from_sparse(sv, kInf);
+  EXPECT_EQ(f.num_active, sv.nnz());
+  EXPECT_EQ(f.to_sparse(), sv);
+}
+
+TEST(DenseFrontier, FromDenseIsAllActive) {
+  const auto f =
+      DenseFrontier::from_dense(sparse::random_dense_vector(100, 5));
+  EXPECT_TRUE(f.all_active());
+  EXPECT_DOUBLE_EQ(f.density(), 1.0);
+  EXPECT_EQ(f.to_sparse().nnz(), 100u);
+}
+
+TEST(DenseFrontier, ZeroValuedActiveEntrySurvivesRoundTrip) {
+  // Unlike plain dense vectors, the explicit active bitmap preserves
+  // entries whose payload equals the identity (BFS level 0!).
+  sparse::SparseVector sv(4);
+  sv.push_back(2, 0.0);
+  const auto f = DenseFrontier::from_sparse(sv, 0.0);
+  EXPECT_EQ(f.num_active, 1u);
+  EXPECT_EQ(f.to_sparse().nnz(), 1u);
+  EXPECT_EQ(f.to_sparse().entries()[0].index, 2u);
+}
+
+TEST(DenseFrontier, EmptyDimension) {
+  DenseFrontier f(0, 0.0);
+  EXPECT_DOUBLE_EQ(f.density(), 0.0);
+  EXPECT_FALSE(f.all_active());
+  EXPECT_TRUE(f.to_sparse().empty());
+}
+
+}  // namespace
+}  // namespace cosparse::kernels

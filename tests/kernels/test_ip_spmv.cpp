@@ -1,0 +1,163 @@
+#include "kernels/ip_spmv.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/semiring.h"
+#include "reference.h"
+#include "sparse/generate.h"
+
+namespace cosparse::kernels {
+namespace {
+
+using sparse::Coo;
+using sparse::uniform_random;
+using testing::reference_spmv;
+
+struct IpHarness {
+  sim::SystemConfig cfg = sim::SystemConfig::transmuter(2, 4);
+  sim::HwConfig hw = sim::HwConfig::kSC;
+  Index vblock_cols = 0;  // 0: derive from SPM capacity
+
+  template <Semiring S>
+  IpResult run(const Coo& m, const DenseFrontier& x, const S& sr) {
+    sim::Machine machine(cfg, hw);
+    AddressMap amap(machine);
+    const Index vb =
+        vblock_cols != 0
+            ? vblock_cols
+            : static_cast<Index>(cfg.scs_spm_bytes_per_tile() / 9);
+    const auto part = IpPartitionedMatrix::build(m, cfg.num_pes(), vb);
+    auto result = run_inner_product(machine, amap, part, x, sr);
+    cycles = machine.cycles();
+    stats = machine.stats();
+    return result;
+  }
+
+  Cycles cycles = 0;
+  sim::Stats stats;
+};
+
+DenseFrontier frontier_with_density(Index n, double density,
+                                    std::uint64_t seed, Value identity) {
+  return DenseFrontier::from_sparse(
+      sparse::random_sparse_vector(n, density, seed), identity);
+}
+
+TEST(IpSpmv, MatchesReferencePlainDense) {
+  const Coo m = uniform_random(200, 200, 3000, 1, sparse::ValueDist::kUniform01);
+  const auto x = DenseFrontier::from_dense(sparse::random_dense_vector(200, 2));
+  IpHarness h;
+  const PlainSpmv sr;
+  const auto got = h.run(m, x, sr);
+  const auto want = reference_spmv(m, x, sr);
+  for (Index r = 0; r < 200; ++r) {
+    EXPECT_NEAR(got.y[r], want.y[r], 1e-9) << "row " << r;
+    EXPECT_EQ(got.touched[r], want.touched[r]) << "row " << r;
+  }
+  EXPECT_GT(h.cycles, 0u);
+}
+
+TEST(IpSpmv, MatchesReferenceSparseFrontier) {
+  const Coo m = uniform_random(300, 300, 5000, 3, sparse::ValueDist::kUniformInt);
+  const SsspSemiring sr;
+  const auto x = frontier_with_density(300, 0.1, 4, sr.vector_identity());
+  IpHarness h;
+  const auto got = h.run(m, x, sr);
+  const auto want = reference_spmv(m, x, sr);
+  for (Index r = 0; r < 300; ++r) {
+    EXPECT_DOUBLE_EQ(got.y[r], want.y[r]) << "row " << r;
+    EXPECT_EQ(got.touched[r], want.touched[r]) << "row " << r;
+  }
+}
+
+TEST(IpSpmv, ScsAndScProduceIdenticalResults) {
+  const Coo m = uniform_random(256, 256, 4000, 5);
+  const PlainSpmv sr;
+  const auto x = frontier_with_density(256, 0.5, 6, sr.vector_identity());
+  IpHarness sc, scs;
+  sc.hw = sim::HwConfig::kSC;
+  scs.hw = sim::HwConfig::kSCS;
+  const auto ysc = sc.run(m, x, sr);
+  const auto yscs = scs.run(m, x, sr);
+  EXPECT_EQ(ysc.y, yscs.y);
+  // SCS must actually exercise the scratchpad.
+  EXPECT_GT(scs.stats.spm_accesses, 0u);
+  EXPECT_EQ(sc.stats.spm_accesses, 0u);
+}
+
+TEST(IpSpmv, CfSemiringUsesDestination) {
+  const Coo m = uniform_random(100, 100, 1500, 7, sparse::ValueDist::kUniform01);
+  const auto x = DenseFrontier::from_dense(sparse::random_dense_vector(100, 8));
+  const CfSemiring sr{.lambda = 0.1};
+  IpHarness h;
+  const auto got = h.run(m, x, sr);
+  const auto want = reference_spmv(m, x, sr);
+  for (Index r = 0; r < 100; ++r) {
+    EXPECT_NEAR(got.y[r], want.y[r], 1e-9);
+  }
+}
+
+TEST(IpSpmv, EmptyFrontierTouchesNothing) {
+  const Coo m = uniform_random(64, 64, 500, 9);
+  const BfsSemiring sr;
+  const DenseFrontier x(64, sr.vector_identity());
+  IpHarness h;
+  const auto got = h.run(m, x, sr);
+  EXPECT_EQ(got.num_touched, 0u);
+  for (Index r = 0; r < 64; ++r) EXPECT_EQ(got.touched[r], 0);
+}
+
+TEST(IpSpmv, EmptyMatrix) {
+  const Coo m(32, 32, {});
+  const PlainSpmv sr;
+  const auto x = DenseFrontier::from_dense(sparse::random_dense_vector(32, 1));
+  IpHarness h;
+  const auto got = h.run(m, x, sr);
+  EXPECT_EQ(got.num_touched, 0u);
+}
+
+TEST(IpSpmv, VblockingDoesNotChangeResults) {
+  const Coo m = uniform_random(200, 200, 3000, 11);
+  const PlainSpmv sr;
+  const auto x = DenseFrontier::from_dense(sparse::random_dense_vector(200, 12));
+  IpHarness with, without;
+  with.vblock_cols = 32;
+  without.vblock_cols = 200;  // single vblock
+  const auto a = with.run(m, x, sr);
+  const auto b = without.run(m, x, sr);
+  for (Index r = 0; r < 200; ++r) EXPECT_NEAR(a.y[r], b.y[r], 1e-9);
+}
+
+TEST(IpSpmv, ScsFillsSpmPerVblock) {
+  const Coo m = uniform_random(512, 512, 8000, 13);
+  const PlainSpmv sr;
+  const auto x = DenseFrontier::from_dense(sparse::random_dense_vector(512, 14));
+  IpHarness h;
+  h.hw = sim::HwConfig::kSCS;
+  h.vblock_cols = 128;  // 4 vblocks
+  h.run(m, x, sr);
+  // Each of the 2 tiles fills its SPM once per vblock: >= 8 barriers.
+  EXPECT_GE(h.stats.barriers, 8u);
+}
+
+TEST(IpSpmv, DenserFrontierCostsMoreCycles) {
+  const Coo m = uniform_random(1024, 1024, 20000, 15);
+  const SsspSemiring sr;
+  IpHarness sparse_run, dense_run;
+  sparse_run.run(m, frontier_with_density(1024, 0.01, 16,
+                                          sr.vector_identity()), sr);
+  dense_run.run(m, frontier_with_density(1024, 0.9, 17,
+                                         sr.vector_identity()), sr);
+  EXPECT_GT(dense_run.cycles, sparse_run.cycles);
+}
+
+TEST(IpSpmv, DimensionMismatchRejected) {
+  const Coo m = uniform_random(32, 32, 100, 18);
+  const PlainSpmv sr;
+  const auto x = DenseFrontier::from_dense(sparse::random_dense_vector(16, 1));
+  IpHarness h;
+  EXPECT_THROW(h.run(m, x, sr), Error);
+}
+
+}  // namespace
+}  // namespace cosparse::kernels

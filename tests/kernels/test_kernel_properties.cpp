@@ -1,0 +1,166 @@
+// Property-style parameterized sweeps: the two dataflows must agree with
+// each other (and the reference) for every semiring, density, hardware
+// configuration and system size — this is the invariant CoSPARSE's
+// correctness rests on, since the runtime switches freely between them.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/ip_spmv.h"
+#include "kernels/op_spmv.h"
+#include "kernels/semiring.h"
+#include "reference.h"
+#include "sparse/generate.h"
+
+namespace cosparse::kernels {
+namespace {
+
+using sparse::Coo;
+using sparse::SparseVector;
+
+// (tiles, pes_per_tile, vector_density, power_law_matrix)
+using Params = std::tuple<std::uint32_t, std::uint32_t, double, bool>;
+
+class IpOpEquivalence : public ::testing::TestWithParam<Params> {};
+
+TEST_P(IpOpEquivalence, PlainSemiringAgrees) {
+  const auto [tiles, pes, density, power_law] = GetParam();
+  const Index n = 400;
+  const Coo m =
+      power_law
+          ? sparse::power_law(n, n, 6000, 2.2, 42,
+                              sparse::ValueDist::kUniform01)
+          : sparse::uniform_random(n, n, 6000, 42,
+                                   sparse::ValueDist::kUniform01);
+  const SparseVector xs = sparse::random_sparse_vector(n, density, 7);
+  const PlainSpmv sr;
+  const auto xf = DenseFrontier::from_sparse(xs, sr.vector_identity());
+
+  const auto cfg = sim::SystemConfig::transmuter(tiles, pes);
+
+  // IP on SC.
+  sim::Machine mip(cfg, sim::HwConfig::kSC);
+  AddressMap aip(mip);
+  const auto part = IpPartitionedMatrix::build(
+      m, cfg.num_pes(),
+      static_cast<Index>(cfg.scs_spm_bytes_per_tile() / 9));
+  const auto ip = run_inner_product(mip, aip, part, xf, sr);
+
+  // OP on PC.
+  sim::Machine mop(cfg, sim::HwConfig::kPC);
+  AddressMap aop(mop);
+  const auto striped = OpStripedMatrix::build(m, cfg.num_tiles);
+  const auto op = run_outer_product(mop, aop, striped, xs, nullptr, sr);
+
+  // Cross-check against each other and the reference.
+  const auto want = testing::reference_spmv(m, xf, sr);
+  std::size_t want_touched = 0;
+  for (auto t : want.touched) want_touched += t;
+  EXPECT_EQ(ip.num_touched, want_touched);
+  ASSERT_EQ(op.y.nnz(), want_touched);
+  for (const auto& e : op.y.entries()) {
+    EXPECT_NEAR(e.value, want.y[e.index], 1e-9);
+    EXPECT_NEAR(e.value, ip.y[e.index], 1e-9);
+  }
+}
+
+TEST_P(IpOpEquivalence, MinPlusSemiringAgrees) {
+  const auto [tiles, pes, density, power_law] = GetParam();
+  const Index n = 300;
+  const Coo m =
+      power_law
+          ? sparse::power_law(n, n, 4500, 2.2, 43,
+                              sparse::ValueDist::kUniformInt)
+          : sparse::uniform_random(n, n, 4500, 43,
+                                   sparse::ValueDist::kUniformInt);
+  const SparseVector xs = sparse::random_sparse_vector(n, density, 8);
+  const SsspSemiring sr;
+  const auto xf = DenseFrontier::from_sparse(xs, sr.vector_identity());
+  const auto cfg = sim::SystemConfig::transmuter(tiles, pes);
+
+  sim::Machine mip(cfg, sim::HwConfig::kSCS);
+  AddressMap aip(mip);
+  const auto part = IpPartitionedMatrix::build(
+      m, cfg.num_pes(),
+      static_cast<Index>(cfg.scs_spm_bytes_per_tile() / 9));
+  const auto ip = run_inner_product(mip, aip, part, xf, sr);
+
+  sim::Machine mop(cfg, sim::HwConfig::kPS);
+  AddressMap aop(mop);
+  const auto striped = OpStripedMatrix::build(m, cfg.num_tiles);
+  const auto op = run_outer_product(mop, aop, striped, xs, nullptr, sr);
+
+  for (const auto& e : op.y.entries()) {
+    EXPECT_DOUBLE_EQ(e.value, ip.y[e.index]);
+  }
+  std::size_t ip_touched = ip.num_touched;
+  EXPECT_EQ(op.y.nnz(), ip_touched);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IpOpEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),   // tiles
+                       ::testing::Values(2u, 4u, 8u),   // PEs per tile
+                       ::testing::Values(0.01, 0.1, 0.5, 1.0),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      const auto t = std::get<0>(info.param);
+      const auto p = std::get<1>(info.param);
+      const auto d = std::get<2>(info.param);
+      const auto pl = std::get<3>(info.param);
+      std::string name = std::to_string(t) + "x" + std::to_string(p) + "_d" +
+                         std::to_string(static_cast<int>(d * 100)) +
+                         (pl ? "_powerlaw" : "_uniform");
+      return name;
+    });
+
+// Timing-shape properties the reconfiguration heuristics rely on.
+TEST(KernelShapes, OpBeatsIpAtVeryLowDensity) {
+  const Index n = 20000;
+  const Coo m = sparse::uniform_random(n, n, 200000, 1);
+  const auto cfg = sim::SystemConfig::transmuter(2, 8);
+  const PlainSpmv sr;
+  const SparseVector xs = sparse::random_sparse_vector(n, 0.001, 2);
+  const auto xf = DenseFrontier::from_sparse(xs, sr.vector_identity());
+
+  sim::Machine mip(cfg, sim::HwConfig::kSC);
+  AddressMap aip(mip);
+  const auto part = IpPartitionedMatrix::build(
+      m, cfg.num_pes(),
+      static_cast<Index>(cfg.scs_spm_bytes_per_tile() / 9));
+  run_inner_product(mip, aip, part, xf, sr);
+
+  sim::Machine mop(cfg, sim::HwConfig::kPC);
+  AddressMap aop(mop);
+  const auto striped = OpStripedMatrix::build(m, cfg.num_tiles);
+  run_outer_product(mop, aop, striped, xs, nullptr, sr);
+
+  EXPECT_LT(mop.cycles(), mip.cycles());
+}
+
+TEST(KernelShapes, IpBeatsOpAtFullDensity) {
+  const Index n = 20000;
+  const Coo m = sparse::uniform_random(n, n, 200000, 1);
+  const auto cfg = sim::SystemConfig::transmuter(2, 8);
+  const PlainSpmv sr;
+  const auto xd = sparse::random_dense_vector(n, 3);
+  const auto xf = DenseFrontier::from_dense(xd);
+  const SparseVector xs = xf.to_sparse();
+
+  sim::Machine mip(cfg, sim::HwConfig::kSC);
+  AddressMap aip(mip);
+  const auto part = IpPartitionedMatrix::build(
+      m, cfg.num_pes(),
+      static_cast<Index>(cfg.scs_spm_bytes_per_tile() / 9));
+  run_inner_product(mip, aip, part, xf, sr);
+
+  sim::Machine mop(cfg, sim::HwConfig::kPC);
+  AddressMap aop(mop);
+  const auto striped = OpStripedMatrix::build(m, cfg.num_tiles);
+  run_outer_product(mop, aop, striped, xs, nullptr, sr);
+
+  EXPECT_LT(mip.cycles(), mop.cycles());
+}
+
+}  // namespace
+}  // namespace cosparse::kernels

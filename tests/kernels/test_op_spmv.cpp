@@ -1,0 +1,181 @@
+#include "kernels/op_spmv.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/semiring.h"
+#include "reference.h"
+#include "sparse/generate.h"
+
+namespace cosparse::kernels {
+namespace {
+
+using sparse::Coo;
+using sparse::SparseVector;
+using sparse::uniform_random;
+using testing::reference_spmv;
+
+struct OpHarness {
+  sim::SystemConfig cfg = sim::SystemConfig::transmuter(2, 4);
+  sim::HwConfig hw = sim::HwConfig::kPC;
+
+  template <Semiring S>
+  OpResult run(const Coo& m, const SparseVector& x,
+               const sparse::DenseVector* xold, const S& sr) {
+    sim::Machine machine(cfg, hw);
+    AddressMap amap(machine);
+    const auto striped = OpStripedMatrix::build(m, cfg.num_tiles);
+    auto result = run_outer_product(machine, amap, striped, x, xold, sr);
+    cycles = machine.cycles();
+    stats = machine.stats();
+    return result;
+  }
+
+  Cycles cycles = 0;
+  sim::Stats stats;
+};
+
+/// Compares an OP sparse result against the dense reference.
+template <Semiring S>
+void expect_matches_reference(const OpResult& got, const Coo& m,
+                              const DenseFrontier& xf, const S& sr,
+                              double tol = 1e-9) {
+  const auto want = reference_spmv(m, xf, sr);
+  std::size_t want_touched = 0;
+  for (auto t : want.touched) want_touched += t;
+  ASSERT_EQ(got.y.nnz(), want_touched);
+  for (const auto& e : got.y.entries()) {
+    ASSERT_TRUE(want.touched[e.index]) << "row " << e.index;
+    EXPECT_NEAR(e.value, want.y[e.index], tol) << "row " << e.index;
+  }
+}
+
+TEST(OpSpmv, MatchesReferencePlain) {
+  const Coo m = uniform_random(200, 200, 3000, 1, sparse::ValueDist::kUniform01);
+  const PlainSpmv sr;
+  const SparseVector x = sparse::random_sparse_vector(200, 0.1, 2);
+  const auto xf = DenseFrontier::from_sparse(x, sr.vector_identity());
+  OpHarness h;
+  const auto got = h.run(m, x, nullptr, sr);
+  expect_matches_reference(got, m, xf, sr);
+  EXPECT_GT(h.cycles, 0u);
+}
+
+TEST(OpSpmv, MatchesReferenceMinPlus) {
+  const Coo m = uniform_random(300, 300, 6000, 3, sparse::ValueDist::kUniformInt);
+  const SsspSemiring sr;
+  const SparseVector x = sparse::random_sparse_vector(300, 0.05, 4);
+  const auto xf = DenseFrontier::from_sparse(x, sr.vector_identity());
+  OpHarness h;
+  const auto got = h.run(m, x, nullptr, sr);
+  expect_matches_reference(got, m, xf, sr);
+}
+
+TEST(OpSpmv, PcAndPsProduceIdenticalResults) {
+  const Coo m = uniform_random(256, 256, 5000, 5);
+  const PlainSpmv sr;
+  const SparseVector x = sparse::random_sparse_vector(256, 0.2, 6);
+  OpHarness pc, ps;
+  pc.hw = sim::HwConfig::kPC;
+  ps.hw = sim::HwConfig::kPS;
+  const auto ypc = pc.run(m, x, nullptr, sr);
+  const auto yps = ps.run(m, x, nullptr, sr);
+  EXPECT_EQ(ypc.y, yps.y);
+  EXPECT_GT(ps.stats.spm_accesses, 0u);
+  EXPECT_EQ(pc.stats.spm_accesses, 0u);
+}
+
+TEST(OpSpmv, CfUsesDestinationValues) {
+  const Coo m = uniform_random(100, 100, 1500, 7, sparse::ValueDist::kUniform01);
+  const auto dense_x = sparse::random_dense_vector(100, 8);
+  const auto xf = DenseFrontier::from_dense(dense_x);
+  const SparseVector x = xf.to_sparse();
+  const CfSemiring sr{.lambda = 0.1};
+  OpHarness h;
+  const auto got = h.run(m, x, &dense_x, sr);
+  expect_matches_reference(got, m, xf, sr);
+}
+
+TEST(OpSpmv, EmptyVectorYieldsEmptyResult) {
+  const Coo m = uniform_random(64, 64, 500, 9);
+  const PlainSpmv sr;
+  const SparseVector x(64);
+  OpHarness h;
+  const auto got = h.run(m, x, nullptr, sr);
+  EXPECT_TRUE(got.y.empty());
+}
+
+TEST(OpSpmv, EmptyColumnsSkipped) {
+  // Vector hits only columns with no matrix entries: nothing merges.
+  Coo m(8, 8, {{0, 0, 1.0}, {3, 1, 2.0}});
+  SparseVector x(8);
+  x.push_back(4, 1.0);
+  x.push_back(7, 1.0);
+  const PlainSpmv sr;
+  OpHarness h;
+  const auto got = h.run(m, x, nullptr, sr);
+  EXPECT_TRUE(got.y.empty());
+}
+
+TEST(OpSpmv, OutputSortedByRowGlobally) {
+  const Coo m = uniform_random(500, 500, 8000, 10);
+  const PlainSpmv sr;
+  const SparseVector x = sparse::random_sparse_vector(500, 0.3, 11);
+  OpHarness h;
+  const auto got = h.run(m, x, nullptr, sr);
+  for (std::size_t i = 1; i < got.y.entries().size(); ++i) {
+    EXPECT_LT(got.y.entries()[i - 1].index, got.y.entries()[i].index);
+  }
+}
+
+TEST(OpSpmv, SingleColumnVector) {
+  Coo m(6, 6,
+        {{0, 2, 1.0}, {1, 2, 2.0}, {5, 2, 3.0}, {3, 3, 9.0}});
+  SparseVector x(6);
+  x.push_back(2, 10.0);
+  const PlainSpmv sr;
+  OpHarness h;
+  const auto got = h.run(m, x, nullptr, sr);
+  ASSERT_EQ(got.y.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(got.y.entries()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(got.y.entries()[1].value, 20.0);
+  EXPECT_DOUBLE_EQ(got.y.entries()[2].value, 30.0);
+}
+
+TEST(OpSpmv, LcpElementsMatchOutputWork) {
+  const Coo m = uniform_random(200, 200, 3000, 12);
+  const PlainSpmv sr;
+  const SparseVector x = sparse::random_sparse_vector(200, 0.2, 13);
+  OpHarness h;
+  const auto got = h.run(m, x, nullptr, sr);
+  // Each PE emits one element per distinct row it produced; the combined
+  // output can only be smaller (cross-PE merging).
+  EXPECT_GE(h.stats.lcp_elements, got.y.nnz());
+}
+
+TEST(OpSpmv, DenserVectorCostsMoreCycles) {
+  const Coo m = uniform_random(1024, 1024, 20000, 14);
+  const PlainSpmv sr;
+  OpHarness lo, hi;
+  lo.run(m, sparse::random_sparse_vector(1024, 0.01, 15), nullptr, sr);
+  hi.run(m, sparse::random_sparse_vector(1024, 0.5, 16), nullptr, sr);
+  EXPECT_GT(hi.cycles, lo.cycles);
+}
+
+TEST(OpSpmv, DimensionMismatchRejected) {
+  const Coo m = uniform_random(32, 32, 100, 17);
+  const PlainSpmv sr;
+  const SparseVector x(16);
+  OpHarness h;
+  EXPECT_THROW(h.run(m, x, nullptr, sr), Error);
+}
+
+TEST(OpSpmv, MissingDstVectorRejectedForCf) {
+  const Coo m = uniform_random(32, 32, 100, 18);
+  const CfSemiring sr{};
+  const SparseVector x = sparse::random_sparse_vector(32, 0.5, 19);
+  OpHarness h;
+  EXPECT_THROW(h.run(m, x, nullptr, sr), Error);
+}
+
+}  // namespace
+}  // namespace cosparse::kernels

@@ -1,0 +1,68 @@
+#include "runtime/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosparse::runtime {
+namespace {
+
+CalibrationOptions small_opts() {
+  CalibrationOptions o;
+  o.dimension = 16384;
+  o.nnz = 262144;
+  o.refinement_steps = 4;
+  return o;
+}
+
+TEST(Calibrate, SampleMeasuresBothKernels) {
+  const auto cfg = sim::SystemConfig::transmuter(2, 8);
+  const auto s = measure_crossover_sample(cfg, 0.01, small_opts());
+  EXPECT_GT(s.ip_cycles, 0u);
+  EXPECT_GT(s.op_cycles, 0u);
+  EXPECT_DOUBLE_EQ(s.density, 0.01);
+  EXPECT_GT(s.ratio(), 0.0);
+}
+
+TEST(Calibrate, CrossoverWithinBracketAndConsistent) {
+  const auto cfg = sim::SystemConfig::transmuter(2, 8);
+  const auto cal = calibrate_cvd(cfg, small_opts());
+  EXPECT_GE(cal.cvd, small_opts().density_lo);
+  EXPECT_LE(cal.cvd, small_opts().density_hi);
+  EXPECT_GE(cal.samples.size(), 2u);
+  // Consistency: OP must win clearly below the crossover and IP clearly
+  // above it (checked on the recorded samples themselves).
+  for (const auto& s : cal.samples) {
+    if (s.density < cal.cvd / 4.0) EXPECT_GT(s.ratio(), 1.0);
+    if (s.density > cal.cvd * 4.0) EXPECT_LT(s.ratio(), 1.0);
+  }
+}
+
+TEST(Calibrate, Deterministic) {
+  const auto cfg = sim::SystemConfig::transmuter(2, 8);
+  const auto a = calibrate_cvd(cfg, small_opts());
+  const auto b = calibrate_cvd(cfg, small_opts());
+  EXPECT_DOUBLE_EQ(a.cvd, b.cvd);
+}
+
+TEST(Calibrate, ThresholdsReproduceMeasuredCvd) {
+  const auto cfg = sim::SystemConfig::transmuter(2, 8);
+  const auto opts = small_opts();
+  const auto cal = calibrate_cvd(cfg, opts);
+  const auto t = calibrate_thresholds(cfg, opts);
+  const double r = static_cast<double>(opts.nnz) /
+                   (static_cast<double>(opts.dimension) *
+                    static_cast<double>(opts.dimension));
+  EXPECT_NEAR(t.cvd(cfg.pes_per_tile, r), cal.cvd, cal.cvd * 0.05);
+}
+
+TEST(Calibrate, RejectsBadBracket) {
+  const auto cfg = sim::SystemConfig::transmuter(2, 8);
+  CalibrationOptions o = small_opts();
+  o.density_lo = 0.5;
+  o.density_hi = 0.1;
+  EXPECT_THROW(calibrate_cvd(cfg, o), Error);
+}
+
+}  // namespace
+}  // namespace cosparse::runtime

@@ -1,0 +1,102 @@
+#include "runtime/decision.h"
+
+#include <gtest/gtest.h>
+
+namespace cosparse::runtime {
+namespace {
+
+TEST(Thresholds, CvdMatchesPaperTakeaways) {
+  // §III-C.1: crossover ~2% at 8 PEs/tile falling to ~0.5% at 32, at the
+  // reference matrix density.
+  const Thresholds t;
+  const double ref = t.matrix_density_reference;
+  EXPECT_NEAR(t.cvd(8, ref), 0.02, 1e-12);
+  EXPECT_NEAR(t.cvd(16, ref), 0.01, 1e-12);
+  EXPECT_NEAR(t.cvd(32, ref), 0.005, 1e-12);
+}
+
+TEST(Thresholds, SparserMatrixRaisesCvd) {
+  const Thresholds t;
+  EXPECT_GT(t.cvd(16, 3.6e-6), t.cvd(16, 2.3e-4));
+}
+
+TEST(Thresholds, CvdClamped) {
+  const Thresholds t;
+  EXPECT_LE(t.cvd(2, 1e-9), t.cvd_max);
+  EXPECT_GE(t.cvd(1024, 1.0), t.cvd_min);
+}
+
+TEST(Decision, DenseVectorSelectsIp) {
+  DecisionEngine de(sim::SystemConfig::transmuter(4, 16));
+  const auto d = de.decide(100000, 1e-4, 50000);  // 50% density
+  EXPECT_EQ(d.sw, SwConfig::kIP);
+}
+
+TEST(Decision, SparseVectorSelectsOp) {
+  DecisionEngine de(sim::SystemConfig::transmuter(4, 16));
+  const auto d = de.decide(100000, 1e-4, 100);  // 0.1% density
+  EXPECT_EQ(d.sw, SwConfig::kOP);
+}
+
+TEST(Decision, CrossoverMovesWithPesPerTile) {
+  // A density between the 8-PE and 32-PE thresholds flips the choice.
+  const double density = 0.01;  // 1%
+  const Index n = 1000000;
+  const auto nnz = static_cast<std::size_t>(density * n);
+  DecisionEngine small(sim::SystemConfig::transmuter(4, 8));
+  DecisionEngine large(sim::SystemConfig::transmuter(4, 32));
+  EXPECT_EQ(small.decide(n, 2.3e-4, nnz).sw, SwConfig::kOP);  // cvd 2%
+  EXPECT_EQ(large.decide(n, 2.3e-4, nnz).sw, SwConfig::kIP);  // cvd 0.5%
+}
+
+TEST(Decision, IpHwPrefersScWhenVectorFitsInL1) {
+  // 16 PEs * 4 kB = 64 kB L1 per tile; a 4k-vertex vector (~36 kB) fits.
+  DecisionEngine de(sim::SystemConfig::transmuter(4, 16));
+  EXPECT_EQ(de.decide_hw(SwConfig::kIP, 4096, 4000), sim::HwConfig::kSC);
+}
+
+TEST(Decision, IpHwSelectsScsForDenseOversizedVector) {
+  DecisionEngine de(sim::SystemConfig::transmuter(4, 16));
+  // 1M vertices (8+ MB) with 47% density: Fig. 9's SCS iterations.
+  EXPECT_EQ(de.decide_hw(SwConfig::kIP, 1000000, 470000),
+            sim::HwConfig::kSCS);
+  // 5% density: Fig. 9's iteration 8 stays SC.
+  EXPECT_EQ(de.decide_hw(SwConfig::kIP, 1000000, 50000), sim::HwConfig::kSC);
+}
+
+TEST(Decision, OpHwSelectsPsWhenSortedListSpills) {
+  DecisionEngine de(sim::SystemConfig::transmuter(4, 16));
+  // 16 PEs/tile, 4 kB bank, 16 B heap node -> 256 entries per PE.
+  // 16 * 256 = 4096 frontier non-zeros fit; beyond spills.
+  EXPECT_EQ(de.decide_hw(SwConfig::kOP, 1000000, 4096), sim::HwConfig::kPC);
+  EXPECT_EQ(de.decide_hw(SwConfig::kOP, 1000000, 40960), sim::HwConfig::kPS);
+}
+
+TEST(Decision, FullDecisionTreeConsistency) {
+  // Property: decide() always returns an IP config with IP and an OP
+  // config with OP (Fig. 2's tree shape).
+  DecisionEngine de(sim::SystemConfig::transmuter(8, 8));
+  for (std::size_t nnz : {0ul, 10ul, 1000ul, 50000ul, 400000ul, 1000000ul}) {
+    const auto d = de.decide(1000000, 1e-5, nnz);
+    if (d.sw == SwConfig::kIP) {
+      EXPECT_TRUE(d.hw == sim::HwConfig::kSC || d.hw == sim::HwConfig::kSCS);
+    } else {
+      EXPECT_TRUE(d.hw == sim::HwConfig::kPC || d.hw == sim::HwConfig::kPS);
+    }
+  }
+}
+
+TEST(Decision, EmptyFrontierIsOp) {
+  DecisionEngine de(sim::SystemConfig::transmuter(4, 8));
+  const auto d = de.decide(1000, 1e-3, 0);
+  EXPECT_EQ(d.sw, SwConfig::kOP);
+  EXPECT_EQ(d.hw, sim::HwConfig::kPC);
+}
+
+TEST(Decision, ToStringNames) {
+  EXPECT_STREQ(to_string(SwConfig::kIP), "IP");
+  EXPECT_STREQ(to_string(SwConfig::kOP), "OP");
+}
+
+}  // namespace
+}  // namespace cosparse::runtime

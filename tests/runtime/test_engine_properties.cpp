@@ -1,0 +1,148 @@
+// Randomized end-to-end property tests of the reconfiguring engine:
+// whatever density sequence arrives, results must match the host reference
+// and the machine state must follow the decision tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "kernels/semiring.h"
+#include "runtime/engine.h"
+#include "sparse/generate.h"
+
+namespace cosparse::runtime {
+namespace {
+
+using kernels::DenseFrontier;
+using kernels::PlainSpmv;
+using sparse::Coo;
+using sparse::SparseVector;
+
+sparse::DenseVector reference(const Coo& a, const SparseVector& x) {
+  sparse::DenseVector y(a.cols(), 0.0);
+  const sparse::DenseVector xd = sparse::to_dense(x, 0.0);
+  for (const auto& t : a.triplets()) y[t.col] += t.value * xd[t.row];
+  return y;
+}
+
+// (tiles, pes_per_tile, power_law)
+using Params = std::tuple<std::uint32_t, std::uint32_t, bool>;
+
+class EngineRandomSequence : public ::testing::TestWithParam<Params> {};
+
+TEST_P(EngineRandomSequence, TenRandomDensityIterationsStayCorrect) {
+  const auto tiles = std::get<0>(GetParam());
+  const auto pes = std::get<1>(GetParam());
+  const auto power_law = std::get<2>(GetParam());
+  const Index n = 1500;
+  const Coo a = power_law
+                    ? sparse::power_law(n, n, 15000, 2.2, 5,
+                                        sparse::ValueDist::kUniform01)
+                    : sparse::uniform_random(n, n, 15000, 5,
+                                             sparse::ValueDist::kUniform01);
+  Engine eng(a, sim::SystemConfig::transmuter(tiles, pes));
+  Rng rng(99);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Log-uniform density in [1e-3, 1].
+    const double density = std::pow(10.0, -3.0 * rng.next_double());
+    const SparseVector x =
+        sparse::random_sparse_vector(n, density, 1000 + iter);
+    // Randomly choose the incoming representation: the engine must convert
+    // whenever the chosen dataflow disagrees.
+    const bool arrive_dense = rng.next_bool(0.5);
+    const auto out =
+        arrive_dense
+            ? eng.spmv(Engine::Frontier::from_dense(
+                           DenseFrontier::from_sparse(x, 0.0)),
+                       PlainSpmv{})
+            : eng.spmv(Engine::Frontier::from_sparse(x), PlainSpmv{});
+
+    // 1. Functional correctness regardless of configuration.
+    const auto want = reference(a, x);
+    out.for_each_touched([&](Index r, Value v) {
+      ASSERT_NEAR(v, want[r], 1e-9) << "iter " << iter << " row " << r;
+    });
+
+    // 2. The machine's configuration matches the logged decision, and the
+    //    decision respects the tree shape.
+    const auto& rec = eng.iterations().back();
+    EXPECT_EQ(eng.machine().hw(), rec.hw);
+    if (rec.sw == SwConfig::kIP) {
+      EXPECT_TRUE(rec.hw == sim::HwConfig::kSC ||
+                  rec.hw == sim::HwConfig::kSCS);
+      EXPECT_TRUE(out.dense);
+    } else {
+      EXPECT_TRUE(rec.hw == sim::HwConfig::kPC ||
+                  rec.hw == sim::HwConfig::kPS);
+      EXPECT_FALSE(out.dense);
+    }
+
+    // 3. Conversion flag consistent with representation mismatch.
+    const bool needed_conversion =
+        arrive_dense != (rec.sw == SwConfig::kIP);
+    EXPECT_EQ(rec.converted_frontier, needed_conversion) << "iter " << iter;
+
+    // 4. Cycles strictly increase.
+    EXPECT_GT(rec.cycles, 0u);
+  }
+  // The random sequence must have exercised both dataflows.
+  bool saw_ip = false, saw_op = false;
+  for (const auto& rec : eng.iterations()) {
+    saw_ip |= rec.sw == SwConfig::kIP;
+    saw_op |= rec.sw == SwConfig::kOP;
+  }
+  EXPECT_TRUE(saw_ip);
+  EXPECT_TRUE(saw_op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineRandomSequence,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(4u, 8u), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_powerlaw" : "_uniform");
+    });
+
+TEST(EngineProperties, ReconfigurationCountMatchesLog) {
+  const Coo a = sparse::uniform_random(2000, 2000, 20000, 1);
+  Engine eng(a, sim::SystemConfig::transmuter(2, 8));
+  // Alternate extreme densities to force switches.
+  for (int i = 0; i < 6; ++i) {
+    const double d = (i % 2 == 0) ? 0.001 : 0.8;
+    eng.spmv(Engine::Frontier::from_sparse(
+                 sparse::random_sparse_vector(2000, d, 50 + i)),
+             PlainSpmv{});
+  }
+  std::uint64_t logged = 0;
+  for (const auto& rec : eng.iterations()) logged += rec.hw_switched ? 1 : 0;
+  EXPECT_EQ(eng.machine().stats().reconfigurations, logged);
+  EXPECT_GE(logged, 5u);  // every iteration flips config here
+}
+
+TEST(EngineProperties, ReconfigOverheadBoundedPerSwitch) {
+  // With clean caches a reconfiguration costs barrier + <= 10 cycles +
+  // flush; across a run, reconfig overhead must stay a small fraction.
+  const Coo a = sparse::uniform_random(3000, 3000, 40000, 2);
+  Engine eng(a, sim::SystemConfig::transmuter(2, 8));
+  for (int i = 0; i < 4; ++i) {
+    const double d = (i % 2 == 0) ? 0.002 : 0.9;
+    eng.spmv(Engine::Frontier::from_sparse(
+                 sparse::random_sparse_vector(3000, d, 60 + i)),
+             PlainSpmv{});
+  }
+  // Flushed lines bounded by total cache capacity per switch.
+  const auto& st = eng.machine().stats();
+  const auto capacity_lines =
+      (eng.system().l1_bytes_per_tile() * eng.system().num_tiles +
+       eng.system().l2_bytes_total()) /
+      kCacheLineBytes;
+  EXPECT_LE(st.flushed_dirty_lines,
+            st.reconfigurations * capacity_lines);
+}
+
+}  // namespace
+}  // namespace cosparse::runtime

@@ -1,0 +1,116 @@
+// Validates the trace-based analytic model against the execution-driven
+// simulator: extrapolating a measured run to another system size must land
+// in the same ballpark as actually simulating that size.
+#include "sim/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/address_map.h"
+#include "kernels/frontier.h"
+#include "kernels/ip_spmv.h"
+#include "kernels/op_spmv.h"
+#include "kernels/partition.h"
+#include "kernels/semiring.h"
+#include "sim/machine.h"
+#include "sparse/generate.h"
+
+namespace cosparse::sim {
+namespace {
+
+struct KernelResult {
+  Cycles cycles = 0;
+  Stats stats;
+};
+
+KernelResult run_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
+           const SystemConfig& cfg) {
+  Machine machine(cfg, HwConfig::kSC);
+  kernels::AddressMap amap(machine);
+  const auto part =
+      kernels::IpPartitionedMatrix::build(m, cfg.num_pes(), 0);
+  kernels::run_inner_product(machine, amap, part, x, kernels::PlainSpmv{});
+  return {machine.cycles(), machine.stats()};
+}
+
+KernelResult run_op(const sparse::Coo& m, const sparse::SparseVector& x,
+           const SystemConfig& cfg) {
+  Machine machine(cfg, HwConfig::kPC);
+  kernels::AddressMap amap(machine);
+  const auto striped = kernels::OpStripedMatrix::build(m, cfg.num_tiles);
+  kernels::run_outer_product(machine, amap, striped, x, nullptr,
+                             kernels::PlainSpmv{});
+  return {machine.cycles(), machine.stats()};
+}
+
+TEST(Analytic, SelfExtrapolationIsSane) {
+  // Extrapolating to the measured system itself must stay within a small
+  // factor of the measurement (the bounds ignore latency overlap, so they
+  // can undershoot; they must never explode).
+  const auto m = sparse::uniform_random(20000, 20000, 200000, 1);
+  const auto cfg = SystemConfig::transmuter(2, 8);
+  const auto x = kernels::DenseFrontier::from_dense(
+      sparse::random_dense_vector(20000, 2));
+  const KernelResult r = run_ip(m, x, cfg);
+  const auto p = extrapolate(cfg, r.stats, r.cycles, cfg);
+  EXPECT_GT(p.cycles, r.cycles / 4);
+  EXPECT_LT(p.cycles, r.cycles * 4);
+}
+
+TEST(Analytic, PredictsScalingDirectionForIp) {
+  const auto m = sparse::uniform_random(20000, 20000, 200000, 1);
+  const auto small = SystemConfig::transmuter(2, 8);
+  const auto big = SystemConfig::transmuter(4, 16);
+  const auto x = kernels::DenseFrontier::from_dense(
+      sparse::random_dense_vector(20000, 2));
+  const KernelResult measured = run_ip(m, x, small);
+  const KernelResult actual_big = run_ip(m, x, big);
+  const auto predicted = extrapolate(small, measured.stats, measured.cycles,
+                                     big);
+  // Direction: the bigger system must be predicted faster.
+  EXPECT_LT(predicted.cycles, measured.cycles);
+  // Magnitude: the extrapolation cannot see that the target's larger
+  // caches cut miss rates, so it is a *conservative* (upper) estimate —
+  // allow a generous band but require the right order of magnitude.
+  const double ratio = static_cast<double>(predicted.cycles) /
+                       static_cast<double>(actual_big.cycles);
+  EXPECT_GT(ratio, 0.5) << predicted.cycles << " vs " << actual_big.cycles;
+  EXPECT_LT(ratio, 8.0) << predicted.cycles << " vs " << actual_big.cycles;
+}
+
+TEST(Analytic, LcpBoundScalesWithTilesForOp) {
+  const auto m = sparse::uniform_random(20000, 20000, 200000, 3);
+  const auto cfg = SystemConfig::transmuter(2, 8);
+  const auto xs = sparse::random_sparse_vector(20000, 0.05, 4);
+  const KernelResult measured = run_op(m, xs, cfg);
+  const auto two_tiles =
+      extrapolate(cfg, measured.stats, measured.cycles, cfg);
+  const auto eight_tiles = extrapolate(
+      cfg, measured.stats, measured.cycles, SystemConfig::transmuter(8, 8));
+  EXPECT_LT(eight_tiles.lcp_bound, two_tiles.lcp_bound);
+}
+
+TEST(Analytic, DramBoundIndependentOfTopology) {
+  Stats s;
+  s.dram_read_bytes = 128u * 1000u;
+  const auto a =
+      extrapolate(SystemConfig::transmuter(2, 8), s, 1000,
+                  SystemConfig::transmuter(2, 8));
+  const auto b =
+      extrapolate(SystemConfig::transmuter(2, 8), s, 1000,
+                  SystemConfig::transmuter(16, 16));
+  EXPECT_DOUBLE_EQ(a.dram_bound, b.dram_bound);
+  EXPECT_DOUBLE_EQ(a.dram_bound, 1000.0);
+}
+
+TEST(Analytic, SerialOverheadUsesTargetReconfigCost) {
+  Stats s;
+  s.reconfigurations = 10;
+  SystemConfig target = SystemConfig::transmuter(2, 8);
+  target.reconfig_cycles = 1000;
+  const auto p =
+      extrapolate(SystemConfig::transmuter(2, 8), s, 1, target);
+  EXPECT_GE(p.serial_cycles, 10000.0);
+}
+
+}  // namespace
+}  // namespace cosparse::sim

@@ -1,0 +1,76 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace cosparse::sim {
+namespace {
+
+TEST(Dram, LatencyWithinConfiguredBounds) {
+  const SystemConfig cfg = SystemConfig::transmuter(4, 8);
+  Dram d(cfg);
+  Stats s;
+  for (int i = 0; i < 100; ++i) {
+    const double lat = d.access(64, false, /*now=*/i * 1000.0, s);
+    EXPECT_GE(lat, cfg.dram_latency_min);
+    EXPECT_LE(lat, cfg.dram_latency_max);
+  }
+}
+
+TEST(Dram, LatencyRisesWithUtilization) {
+  const SystemConfig cfg = SystemConfig::transmuter(4, 8);
+  Dram low(cfg), high(cfg);
+  Stats s;
+  // Low pressure: few bytes over a long time.
+  low.traffic(64, false, s);
+  const double lat_low = low.access(64, false, /*now=*/1e9, s);
+  // High pressure: many bytes in a short time.
+  high.traffic(100000000, false, s);
+  const double lat_high = high.access(64, false, /*now=*/1000.0, s);
+  EXPECT_GT(lat_high, lat_low);
+  EXPECT_DOUBLE_EQ(lat_high, cfg.dram_latency_max);
+}
+
+TEST(Dram, TrafficAccountedByDirection) {
+  const SystemConfig cfg = SystemConfig::transmuter(4, 8);
+  Dram d(cfg);
+  Stats s;
+  d.traffic(100, false, s);
+  d.traffic(50, true, s);
+  EXPECT_EQ(s.dram_read_bytes, 100u);
+  EXPECT_EQ(s.dram_write_bytes, 50u);
+  EXPECT_EQ(d.total_bytes(), 150u);
+}
+
+TEST(Dram, BandwidthFloorMatchesPeak) {
+  const SystemConfig cfg = SystemConfig::transmuter(4, 8);
+  Dram d(cfg);
+  Stats s;
+  d.traffic(12800, false, s);  // 12800 B / (16 ch * 8 B/cyc) = 100 cycles
+  EXPECT_DOUBLE_EQ(d.bandwidth_floor_cycles(), 100.0);
+}
+
+TEST(Dram, ResetClearsCounters) {
+  const SystemConfig cfg = SystemConfig::transmuter(4, 8);
+  Dram d(cfg);
+  Stats s;
+  d.traffic(1000, false, s);
+  d.reset();
+  EXPECT_EQ(d.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(d.bandwidth_floor_cycles(), 0.0);
+}
+
+TEST(Dram, MonotoneLatencyInUtilization) {
+  // Property: with `now` fixed, latency is non-decreasing in total bytes.
+  const SystemConfig cfg = SystemConfig::transmuter(4, 8);
+  Dram d(cfg);
+  Stats s;
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double lat = d.access(4096, false, /*now=*/50000.0, s);
+    EXPECT_GE(lat + 1e-12, prev);
+    prev = lat;
+  }
+}
+
+}  // namespace
+}  // namespace cosparse::sim

@@ -1,0 +1,66 @@
+#include "sim/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace cosparse::sim {
+namespace {
+
+TEST(Energy, ZeroEventsOnlyLeakage) {
+  const SystemConfig cfg = SystemConfig::transmuter(2, 4);
+  EnergyModel em;
+  Stats s;
+  const Picojoules e = em.total(cfg, s, /*elapsed=*/1000);
+  EXPECT_GT(e, 0.0);
+  const Picojoules e2 = em.total(cfg, s, /*elapsed=*/2000);
+  EXPECT_NEAR(e2, 2.0 * e, 1e-9);  // pure leakage scales linearly with time
+}
+
+TEST(Energy, DramDominatesPerByte) {
+  const SystemConfig cfg = SystemConfig::transmuter(2, 4);
+  EnergyModel em;
+  Stats cache_heavy, dram_heavy;
+  cache_heavy.l1_hits = 1000;
+  dram_heavy.dram_read_bytes = 1000 * 64;
+  EXPECT_GT(em.total(cfg, dram_heavy, 0), em.total(cfg, cache_heavy, 0));
+}
+
+TEST(Energy, SpmCheaperThanCache) {
+  const SystemConfig cfg = SystemConfig::transmuter(2, 4);
+  EnergyModel em;
+  Stats spm, cache;
+  spm.spm_accesses = 10000;
+  cache.l1_hits = 10000;
+  EXPECT_LT(em.total(cfg, spm, 0), em.total(cfg, cache, 0));
+}
+
+TEST(Energy, WattsConsistentWithTotal) {
+  const SystemConfig cfg = SystemConfig::transmuter(2, 4);
+  EnergyModel em;
+  Stats s;
+  s.pe_compute_cycles = 1e6;
+  const Cycles elapsed = 1000000;  // 1 ms at 1 GHz
+  const double w = em.watts(cfg, s, elapsed);
+  const double expected =
+      em.total(cfg, s, elapsed) * 1e-12 / 1e-3;  // pJ -> J over 1 ms
+  EXPECT_NEAR(w, expected, 1e-12);
+}
+
+TEST(Energy, ZeroElapsedZeroWatts) {
+  const SystemConfig cfg = SystemConfig::transmuter(2, 4);
+  EnergyModel em;
+  Stats s;
+  EXPECT_DOUBLE_EQ(em.watts(cfg, s, 0), 0.0);
+}
+
+TEST(Energy, LeakageScalesWithSystemSize) {
+  EnergyModel em;
+  Stats s;
+  const Picojoules small =
+      em.total(SystemConfig::transmuter(2, 4), s, 1000);
+  const Picojoules big =
+      em.total(SystemConfig::transmuter(16, 16), s, 1000);
+  EXPECT_GT(big, 10.0 * small);
+}
+
+}  // namespace
+}  // namespace cosparse::sim

@@ -1,0 +1,211 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosparse::sim {
+namespace {
+
+SystemConfig small_cfg() { return SystemConfig::transmuter(2, 4); }
+
+TEST(Machine, AllocReturnsDisjointLineAlignedRanges) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  const Addr a = m.alloc(100, "a");
+  const Addr b = m.alloc(10, "b");
+  EXPECT_EQ(a % kCacheLineBytes, 0u);
+  EXPECT_EQ(b % kCacheLineBytes, 0u);
+  EXPECT_GE(b, a + 100);
+  // Guard line: end of `a` and start of `b` never share a cache line.
+  EXPECT_GT(b / kCacheLineBytes, (a + 99) / kCacheLineBytes);
+}
+
+TEST(Machine, ComputeAdvancesOnlyThatPe) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  m.compute(0, 100.0);
+  EXPECT_EQ(m.cycles(), 100u);
+  m.compute(1, 50.0);
+  EXPECT_EQ(m.cycles(), 100u);  // max over PEs
+}
+
+TEST(Machine, MemReadChargesMoreOnColdMiss) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  const Addr a = m.alloc(4096, "buf");
+  m.mem_read(0, a, 8);
+  const Cycles cold = m.cycles();
+  EXPECT_GT(cold, 50u);  // DRAM latency charged
+  m.mem_read(0, a, 8);
+  const Cycles warm = m.cycles() - cold;
+  EXPECT_LT(warm, 10u);  // L1 hit
+  EXPECT_EQ(m.stats().l1_hits, 1u);
+  EXPECT_EQ(m.stats().l1_misses, 1u);
+}
+
+TEST(Machine, SharedL1VisibleAcrossPesOfATile) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  const Addr a = m.alloc(64, "x");
+  m.mem_read(0, a, 8);  // PE0 (tile 0) misses
+  m.mem_read(1, a, 8);  // PE1 (tile 0) hits the shared L1
+  EXPECT_EQ(m.stats().l1_hits, 1u);
+}
+
+TEST(Machine, PrivateL1NotSharedInPC) {
+  Machine m(small_cfg(), HwConfig::kPC);
+  const Addr a = m.alloc(64, "x");
+  m.mem_read(0, a, 8);
+  m.mem_read(1, a, 8);  // PE1 misses its own private L1...
+  EXPECT_EQ(m.stats().l1_hits, 0u);
+  EXPECT_EQ(m.stats().l1_misses, 2u);
+  // ...but hits the per-tile L2 warmed by PE0.
+  EXPECT_EQ(m.stats().l2_hits, 1u);
+}
+
+TEST(Machine, CrossTileSharingOnlyThroughSharedL2) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  const Addr a = m.alloc(64, "x");
+  m.mem_read(0, a, 8);               // tile 0
+  const auto before = m.stats();
+  m.mem_read(4, a, 8);               // tile 1: L1 miss, global L2 hit
+  EXPECT_EQ(m.stats().l1_misses, before.l1_misses + 1);
+  EXPECT_EQ(m.stats().l2_hits, before.l2_hits + 1);
+}
+
+TEST(Machine, PrivateL2NotSharedAcrossTilesInPC) {
+  Machine m(small_cfg(), HwConfig::kPC);
+  const Addr a = m.alloc(64, "x");
+  m.mem_read(0, a, 8);  // tile 0
+  m.mem_read(4, a, 8);  // tile 1: own L2, cold
+  EXPECT_EQ(m.stats().l2_hits, 0u);
+  EXPECT_EQ(m.stats().l2_misses, 2u);
+}
+
+TEST(Machine, SpmOnlyInSpmConfigs) {
+  Machine sc(small_cfg(), HwConfig::kSC);
+  EXPECT_EQ(sc.spm_bytes_per_tile(), 0u);
+  EXPECT_EQ(sc.spm_bytes_per_pe(), 0u);
+  EXPECT_THROW(sc.spm_read(0, 8), Error);
+
+  Machine scs(small_cfg(), HwConfig::kSCS);
+  EXPECT_EQ(scs.spm_bytes_per_tile(), 2u * 4096u);  // P/2 banks of 4 kB
+  scs.spm_read(0, 8);
+  EXPECT_EQ(scs.stats().spm_accesses, 1u);
+
+  Machine ps(small_cfg(), HwConfig::kPS);
+  EXPECT_EQ(ps.spm_bytes_per_pe(), 4096u);
+  ps.spm_write(0, 8);
+  EXPECT_EQ(ps.stats().spm_accesses, 1u);
+}
+
+TEST(Machine, SpmCheaperThanColdMemory) {
+  Machine m(small_cfg(), HwConfig::kSCS);
+  const Addr a = m.alloc(64, "x");
+  m.spm_read(0, 8);
+  const Cycles spm_time = m.cycles();
+  m.mem_read(1, a, 8);  // cold: goes to DRAM
+  const Cycles mem_time = m.cycles();
+  EXPECT_LT(spm_time, 5u);
+  EXPECT_GT(mem_time, spm_time * 10);
+}
+
+TEST(Machine, TileBarrierEqualizesWithinTileOnly) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  m.compute(0, 100.0);
+  m.compute(4, 7.0);  // tile 1
+  m.tile_barrier(0);
+  m.compute(1, 1.0);  // PE1 now starts from 100
+  EXPECT_EQ(m.cycles(), 101u);
+  // Tile 1 unaffected by tile 0's barrier: global barrier then syncs all.
+  m.global_barrier();
+  m.compute(4, 2.0);
+  EXPECT_EQ(m.cycles(), 103u);
+}
+
+TEST(Machine, PsRoutesStraightToL2) {
+  Machine m(small_cfg(), HwConfig::kPS);
+  const Addr a = m.alloc(64, "x");
+  m.mem_read(0, a, 8);
+  EXPECT_EQ(m.stats().l1_accesses(), 0u);
+  EXPECT_EQ(m.stats().l2_misses, 1u);
+  m.mem_read(0, a, 8);
+  EXPECT_EQ(m.stats().l2_hits, 1u);
+}
+
+TEST(Machine, ReconfigureFlushesAndCharges) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  const Addr a = m.alloc(4096, "buf");
+  for (Addr off = 0; off < 1024; off += 64) m.mem_write(0, a + off, 8);
+  const Cycles before = m.cycles();
+  const auto wb_before = m.stats().dram_write_bytes;
+  m.reconfigure(HwConfig::kPC);
+  EXPECT_EQ(m.hw(), HwConfig::kPC);
+  EXPECT_GE(m.cycles(), before + 10);  // >= the 10-cycle mode switch
+  EXPECT_GT(m.stats().dram_write_bytes, wb_before);  // dirty lines drained
+  EXPECT_EQ(m.stats().reconfigurations, 1u);
+  // Caches are cold after reconfiguration (stats are cumulative; compare
+  // against the pre-read snapshot).
+  const auto hits_before = m.stats().l1_hits;
+  m.mem_read(0, a, 8);
+  EXPECT_EQ(m.stats().l1_hits, hits_before);
+  EXPECT_GT(m.stats().l1_misses, 0u);
+}
+
+TEST(Machine, ReconfigureWithCleanCachesIsCheap) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  const Cycles before = m.cycles();
+  m.reconfigure(HwConfig::kSCS);
+  EXPECT_LE(m.cycles(), before + 11);
+}
+
+TEST(Machine, RooflineBoundsCycles) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  // Pure DMA traffic with idle PEs: elapsed time must still cover the
+  // bandwidth cost.
+  m.dma_traffic(1280000, true);  // 1.28 MB / 128 B-per-cycle = 10k cycles
+  EXPECT_GE(m.cycles(), 10000u);
+}
+
+TEST(Machine, LcpEmitSerializesPerTile) {
+  Machine m(small_cfg(), HwConfig::kPC);
+  for (int i = 0; i < 100; ++i) m.lcp_emit(0, 12);
+  m.tile_barrier(0);
+  // 100 elements x lcp_cycles_per_element(), a queue-count-dependent cost.
+  const auto expected = static_cast<Cycles>(
+      100.0 * small_cfg().lcp_cycles_per_element());
+  EXPECT_GE(m.cycles(), expected);
+  EXPECT_EQ(m.stats().lcp_elements, 100u);
+}
+
+TEST(Machine, SharedModeChargesArbitration) {
+  // Same access pattern, SC vs PC: the shared configuration pays crossbar
+  // arbitration, the private one has direct access.
+  const SystemConfig cfg = SystemConfig::transmuter(1, 8);
+  Machine shared(cfg, HwConfig::kSC);
+  Machine priv(cfg, HwConfig::kPC);
+  const Addr a1 = shared.alloc(64, "x");
+  const Addr a2 = priv.alloc(64, "x");
+  shared.mem_read(0, a1, 8);
+  priv.mem_read(0, a2, 8);
+  shared.mem_read(0, a1, 8);  // L1 hit with arbitration
+  priv.mem_read(0, a2, 8);    // L1 hit direct
+  const double shared_hit =
+      static_cast<double>(shared.cycles());
+  const double priv_hit = static_cast<double>(priv.cycles());
+  // Not a strict per-access comparison (cold miss dominates), but stats
+  // must show the xbar being exercised only in shared mode L1.
+  EXPECT_GT(shared.stats().xbar_transfers, priv.stats().xbar_transfers);
+  (void)shared_hit;
+  (void)priv_hit;
+}
+
+TEST(Machine, EnergyPositiveAndScalesWithWork) {
+  Machine m(small_cfg(), HwConfig::kSC);
+  const Addr a = m.alloc(1 << 16, "buf");
+  for (Addr off = 0; off < (1 << 14); off += 64) m.mem_read(0, a + off, 8);
+  const Picojoules e1 = m.energy_pj();
+  EXPECT_GT(e1, 0.0);
+  for (Addr off = 0; off < (1 << 14); off += 64) m.mem_read(1, a + off, 8);
+  EXPECT_GT(m.energy_pj(), e1);
+}
+
+}  // namespace
+}  // namespace cosparse::sim

@@ -1,0 +1,96 @@
+// Parameterized checks that hold across all four memory configurations,
+// plus config-specific visibility rules spelled out in one place.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace cosparse::sim {
+namespace {
+
+class MachineAllConfigs : public ::testing::TestWithParam<HwConfig> {};
+
+TEST_P(MachineAllConfigs, WarmRereadIsCheaperThanCold) {
+  Machine m(SystemConfig::transmuter(2, 4), GetParam());
+  const Addr a = m.alloc(64, "x");
+  m.mem_read(0, a, 8);
+  const Cycles cold = m.cycles();
+  m.mem_read(0, a, 8);
+  const Cycles warm = m.cycles() - cold;
+  EXPECT_GT(cold, warm * 5);
+}
+
+TEST_P(MachineAllConfigs, WritesAreBuffered) {
+  // A store miss must not stall like a load miss (store-buffer model).
+  Machine m(SystemConfig::transmuter(2, 4), GetParam());
+  const Addr a = m.alloc(1 << 14, "buf");
+  const Cycles before = m.cycles();
+  m.mem_write(0, a, 8);
+  EXPECT_LE(m.cycles() - before, 2u);
+  // ...but the dirty line exists: flushing on reconfigure drains it.
+  const auto wb_before = m.stats().dram_write_bytes;
+  m.reconfigure(GetParam() == HwConfig::kSC ? HwConfig::kPC : HwConfig::kSC);
+  EXPECT_GT(m.stats().dram_write_bytes, wb_before);
+}
+
+TEST_P(MachineAllConfigs, RooflineAppliesEverywhere) {
+  Machine m(SystemConfig::transmuter(2, 4), GetParam());
+  m.dma_traffic(128u * 100000u, false);  // 100k cycles of bandwidth
+  EXPECT_GE(m.cycles(), 100000u);
+}
+
+TEST_P(MachineAllConfigs, ReconfigureRoundTripRestoresConfig) {
+  const HwConfig start = GetParam();
+  Machine m(SystemConfig::transmuter(2, 4), start);
+  for (auto next : {HwConfig::kSC, HwConfig::kSCS, HwConfig::kPC,
+                    HwConfig::kPS}) {
+    m.reconfigure(next);
+    EXPECT_EQ(m.hw(), next);
+  }
+  m.reconfigure(start);
+  EXPECT_EQ(m.hw(), start);
+  EXPECT_EQ(m.stats().reconfigurations, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, MachineAllConfigs,
+                         ::testing::Values(HwConfig::kSC, HwConfig::kSCS,
+                                           HwConfig::kPC, HwConfig::kPS),
+                         [](const ::testing::TestParamInfo<HwConfig>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(MachineVisibility, SharingMatrix) {
+  // One table of truth for "who sees whose data" per configuration:
+  //   SC/SCS: L1 shared within tile, L2 shared globally.
+  //   PC:     L1 private per PE,     L2 shared within tile only.
+  //   PS:     no L1 cache,           L2 shared within tile only.
+  struct Case {
+    HwConfig hw;
+    bool l1_shared_in_tile;
+    bool l2_shared_across_tiles;
+  };
+  for (const Case& c : {Case{HwConfig::kSC, true, true},
+                        Case{HwConfig::kSCS, true, true},
+                        Case{HwConfig::kPC, false, false},
+                        Case{HwConfig::kPS, false, false}}) {
+    Machine m(SystemConfig::transmuter(2, 4), c.hw);
+    const Addr a = m.alloc(64, "x");
+    m.mem_read(0, a, 8);  // PE0, tile 0
+    const auto after_first = m.stats();
+
+    m.mem_read(1, a, 8);  // PE1, tile 0
+    const bool l1_hit = m.stats().l1_hits > after_first.l1_hits;
+    if (c.hw == HwConfig::kPS) {
+      EXPECT_EQ(m.stats().l1_accesses(), 0u) << to_string(c.hw);
+    } else {
+      EXPECT_EQ(l1_hit, c.l1_shared_in_tile) << to_string(c.hw);
+    }
+
+    const auto before_cross = m.stats();
+    m.mem_read(4, a, 8);  // PE0 of tile 1
+    const bool l2_hit = m.stats().l2_hits > before_cross.l2_hits;
+    EXPECT_EQ(l2_hit, c.l2_shared_across_tiles) << to_string(c.hw);
+  }
+}
+
+}  // namespace
+}  // namespace cosparse::sim

@@ -1,0 +1,68 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cosparse::sim {
+namespace {
+
+Stats sample() {
+  Stats s;
+  s.pe_compute_cycles = 100;
+  s.pe_mem_stall_cycles = 200;
+  s.l1_hits = 80;
+  s.l1_misses = 20;
+  s.spm_accesses = 5;
+  s.l2_hits = 15;
+  s.l2_misses = 5;
+  s.dram_read_bytes = 640;
+  s.dram_write_bytes = 128;
+  s.prefetch_lines = 4;
+  s.writeback_lines = 2;
+  s.xbar_transfers = 120;
+  s.lcp_elements = 10;
+  s.barriers = 3;
+  s.reconfigurations = 1;
+  s.flushed_dirty_lines = 7;
+  return s;
+}
+
+TEST(Stats, HitRates) {
+  const Stats s = sample();
+  EXPECT_DOUBLE_EQ(s.l1_hit_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(s.l2_hit_rate(), 0.75);
+  EXPECT_EQ(s.l1_accesses(), 100u);
+  EXPECT_EQ(s.dram_bytes(), 768u);
+}
+
+TEST(Stats, EmptyRatesAreZero) {
+  const Stats s;
+  EXPECT_DOUBLE_EQ(s.l1_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.l2_hit_rate(), 0.0);
+}
+
+TEST(Stats, AdditionAndSubtractionRoundTrip) {
+  const Stats a = sample();
+  Stats b = sample();
+  b += a;
+  EXPECT_EQ(b.l1_hits, 160u);
+  EXPECT_DOUBLE_EQ(b.pe_compute_cycles, 200.0);
+  const Stats diff = b - a;
+  EXPECT_EQ(diff.l1_hits, a.l1_hits);
+  EXPECT_EQ(diff.dram_read_bytes, a.dram_read_bytes);
+  EXPECT_EQ(diff.reconfigurations, a.reconfigurations);
+  EXPECT_DOUBLE_EQ(diff.pe_mem_stall_cycles, a.pe_mem_stall_cycles);
+}
+
+TEST(Stats, PrintMentionsKeyCounters) {
+  std::ostringstream os;
+  sample().print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("L1"), std::string::npos);
+  EXPECT_NE(out.find("DRAM"), std::string::npos);
+  EXPECT_NE(out.find("reconfigurations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cosparse::sim

@@ -1,0 +1,94 @@
+#include "sparse/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/error.h"
+
+namespace cosparse::sparse {
+namespace {
+
+TEST(Datasets, TableThreeSpecsPresent) {
+  const auto& specs = DatasetRegistry::specs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "livejournal");
+  EXPECT_EQ(specs[0].vertices, 4847571u);
+  EXPECT_EQ(specs[0].edges, 68992772u);
+  EXPECT_EQ(specs[1].name, "pokec");
+  EXPECT_TRUE(specs[1].directed);
+  EXPECT_EQ(specs[2].name, "youtube");
+  EXPECT_FALSE(specs[2].directed);
+  EXPECT_EQ(specs[3].name, "twitter");
+  EXPECT_EQ(specs[4].name, "vsp");
+  EXPECT_FALSE(specs[4].power_law);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(DatasetRegistry::spec("facebook"), Error);
+  DatasetRegistry reg;
+  EXPECT_THROW(reg.load("facebook"), Error);
+}
+
+TEST(Datasets, ScaledLoadMatchesSpecProportions) {
+  DatasetRegistry reg;
+  const unsigned scale = 64;
+  const Graph g = reg.load("twitter", scale);
+  const auto& s = DatasetRegistry::spec("twitter");
+  EXPECT_EQ(g.num_vertices(), s.vertices / scale);
+  // Edge count within 1% of target (duplicate folding can drop a few).
+  EXPECT_NEAR(static_cast<double>(g.num_edges()),
+              static_cast<double>(s.edges / scale),
+              0.01 * static_cast<double>(s.edges / scale));
+}
+
+TEST(Datasets, DeterministicAcrossLoads) {
+  DatasetRegistry reg;
+  const Graph a = reg.load("vsp", 8);
+  const Graph b = reg.load("vsp", 8);
+  EXPECT_EQ(a.adjacency().triplets(), b.adjacency().triplets());
+}
+
+TEST(Datasets, UndirectedGraphIsSymmetric) {
+  DatasetRegistry reg;
+  const Graph g = reg.load("vsp", 16);
+  const auto& tri = g.adjacency().triplets();
+  // Every off-diagonal (u, v) must have a matching (v, u).
+  std::set<std::pair<Index, Index>> coords;
+  for (const auto& t : tri) coords.insert({t.row, t.col});
+  for (const auto& t : tri) {
+    if (t.row != t.col) {
+      EXPECT_TRUE(coords.count({t.col, t.row}))
+          << "missing mirror of (" << t.row << "," << t.col << ")";
+    }
+  }
+}
+
+TEST(Datasets, PowerLawStandInIsSkewed) {
+  DatasetRegistry reg;
+  const Graph g = reg.load("twitter", 16);
+  const auto& deg = g.out_degrees();
+  const Index max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(static_cast<double>(max_deg), 20.0 * g.average_degree());
+}
+
+TEST(Datasets, UniformStandInIsNotVerySkewed) {
+  DatasetRegistry reg;
+  const Graph g = reg.load("vsp", 8);
+  const auto& deg = g.out_degrees();
+  const Index max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_LT(static_cast<double>(max_deg), 5.0 * g.average_degree());
+}
+
+TEST(Datasets, GraphDegreesConsistent) {
+  DatasetRegistry reg;
+  const Graph g = reg.load("youtube", 64);
+  std::uint64_t total = 0;
+  for (Index d : g.out_degrees()) total += d;
+  EXPECT_EQ(total, g.num_edges());
+}
+
+}  // namespace
+}  // namespace cosparse::sparse

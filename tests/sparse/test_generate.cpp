@@ -1,0 +1,149 @@
+#include "sparse/generate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+
+namespace cosparse::sparse {
+namespace {
+
+TEST(UniformRandom, ExactNnzAndBounds) {
+  const Coo m = uniform_random(100, 80, 500, 1);
+  EXPECT_EQ(m.rows(), 100u);
+  EXPECT_EQ(m.cols(), 80u);
+  EXPECT_EQ(m.nnz(), 500u);
+  for (const auto& t : m.triplets()) {
+    EXPECT_LT(t.row, 100u);
+    EXPECT_LT(t.col, 80u);
+  }
+}
+
+TEST(UniformRandom, DeterministicBySeed) {
+  const Coo a = uniform_random(50, 50, 200, 42);
+  const Coo b = uniform_random(50, 50, 200, 42);
+  EXPECT_EQ(a.triplets(), b.triplets());
+  const Coo c = uniform_random(50, 50, 200, 43);
+  EXPECT_NE(a.triplets(), c.triplets());
+}
+
+TEST(UniformRandom, NoDuplicateCoordinates) {
+  const Coo m = uniform_random(40, 40, 600, 5);
+  std::set<std::pair<Index, Index>> seen;
+  for (const auto& t : m.triplets()) {
+    EXPECT_TRUE(seen.insert({t.row, t.col}).second);
+  }
+}
+
+TEST(UniformRandom, FullMatrixViaFallback) {
+  // nnz == rows*cols exercises the deterministic fallback path.
+  const Coo m = uniform_random(8, 8, 64, 3);
+  EXPECT_EQ(m.nnz(), 64u);
+}
+
+TEST(UniformRandom, RejectsOverfull) {
+  EXPECT_THROW(uniform_random(4, 4, 17, 1), Error);
+}
+
+TEST(UniformRandom, ValueDistributions) {
+  const Coo ones = uniform_random(30, 30, 100, 2, ValueDist::kOnes);
+  for (const auto& t : ones.triplets()) EXPECT_DOUBLE_EQ(t.value, 1.0);
+
+  const Coo u01 = uniform_random(30, 30, 100, 2, ValueDist::kUniform01);
+  for (const auto& t : u01.triplets()) {
+    EXPECT_GT(t.value, 0.0);
+    EXPECT_LE(t.value, 1.0);
+  }
+
+  const Coo ints = uniform_random(30, 30, 100, 2, ValueDist::kUniformInt);
+  for (const auto& t : ints.triplets()) {
+    EXPECT_GE(t.value, 1.0);
+    EXPECT_LE(t.value, 16.0);
+    EXPECT_DOUBLE_EQ(t.value, std::floor(t.value));
+  }
+}
+
+TEST(PowerLaw, ExactNnzAndSkew) {
+  const Index n = 2000;
+  const Coo m = power_law(n, n, 20000, 2.1, 7);
+  EXPECT_EQ(m.nnz(), 20000u);
+  // Degree skew: the max row degree should far exceed the mean (10).
+  std::vector<Index> deg(n, 0);
+  for (const auto& t : m.triplets()) ++deg[t.row];
+  const Index max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(max_deg, 50u);
+}
+
+TEST(PowerLaw, MoreSkewedThanUniform) {
+  const Index n = 2000;
+  auto gini_of = [&](const Coo& m) {
+    std::vector<Index> deg(n, 0);
+    for (const auto& t : m.triplets()) ++deg[t.row];
+    std::sort(deg.begin(), deg.end());
+    double cum = 0, weighted = 0;
+    for (std::size_t i = 0; i < deg.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * deg[i];
+      cum += deg[i];
+    }
+    return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+  };
+  const double g_pl = gini_of(power_law(n, n, 20000, 2.1, 7));
+  const double g_un = gini_of(uniform_random(n, n, 20000, 7));
+  EXPECT_GT(g_pl, g_un + 0.1);
+}
+
+TEST(PowerLaw, RejectsBadExponent) {
+  EXPECT_THROW(power_law(10, 10, 5, 0.9, 1), Error);
+}
+
+TEST(Rmat, DimensionIsPowerOfTwo) {
+  const Coo m = rmat(10, 5000, 0.57, 0.19, 0.19, 11);
+  EXPECT_EQ(m.rows(), 1024u);
+  EXPECT_EQ(m.cols(), 1024u);
+  EXPECT_EQ(m.nnz(), 5000u);
+}
+
+TEST(Rmat, SkewedDegrees) {
+  const Coo m = rmat(11, 30000, 0.57, 0.19, 0.19, 13);
+  std::vector<Index> deg(m.rows(), 0);
+  for (const auto& t : m.triplets()) ++deg[t.row];
+  const Index max_deg = *std::max_element(deg.begin(), deg.end());
+  const double mean = 30000.0 / static_cast<double>(m.rows());
+  EXPECT_GT(max_deg, 10 * mean);
+}
+
+TEST(Rmat, RejectsBadParams) {
+  EXPECT_THROW(rmat(0, 10, 0.25, 0.25, 0.25, 1), Error);
+  EXPECT_THROW(rmat(4, 10, 0.7, 0.2, 0.2, 1), Error);
+}
+
+TEST(RandomSparseVector, DensityHonored) {
+  const SparseVector v = random_sparse_vector(10000, 0.02, 3);
+  EXPECT_EQ(v.nnz(), 200u);
+  EXPECT_NEAR(v.density(), 0.02, 1e-9);
+  Index prev = 0;
+  bool first = true;
+  for (const auto& e : v.entries()) {
+    if (!first) EXPECT_GT(e.index, prev);
+    prev = e.index;
+    first = false;
+  }
+}
+
+TEST(RandomSparseVector, EdgeDensities) {
+  EXPECT_EQ(random_sparse_vector(100, 0.0, 1).nnz(), 0u);
+  EXPECT_EQ(random_sparse_vector(100, 1.0, 1).nnz(), 100u);
+  EXPECT_THROW(random_sparse_vector(100, 1.5, 1), Error);
+}
+
+TEST(RandomDenseVector, Deterministic) {
+  const DenseVector a = random_dense_vector(100, 5);
+  const DenseVector b = random_dense_vector(100, 5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cosparse::sparse

@@ -1,0 +1,105 @@
+#include "sparse/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.h"
+#include "sparse/datasets.h"
+#include "sparse/generate.h"
+
+namespace cosparse::sparse {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    const std::string p = "/tmp/cosparse_ser_" + name + ".bin";
+    paths_.push_back(p);
+    return p;
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesEverything) {
+  const Coo m = uniform_random(300, 200, 4000, 7, ValueDist::kUniform01);
+  const auto p = path("roundtrip");
+  write_binary(p, m);
+  const Coo back = read_binary(p);
+  EXPECT_EQ(back.rows(), m.rows());
+  EXPECT_EQ(back.cols(), m.cols());
+  EXPECT_EQ(back.triplets(), m.triplets());
+}
+
+TEST_F(SerializeTest, EmptyMatrixRoundTrip) {
+  const Coo m(5, 5, {});
+  const auto p = path("empty");
+  write_binary(p, m);
+  const Coo back = read_binary(p);
+  EXPECT_EQ(back.nnz(), 0u);
+  EXPECT_EQ(back.rows(), 5u);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(read_binary("/nonexistent/matrix.bin"), Error);
+}
+
+TEST_F(SerializeTest, BadMagicRejected) {
+  const auto p = path("magic");
+  std::ofstream(p, std::ios::binary) << "this is not a matrix at all";
+  EXPECT_THROW(read_binary(p), Error);
+}
+
+TEST_F(SerializeTest, TruncationRejected) {
+  const Coo m = uniform_random(100, 100, 1000, 8);
+  const auto p = path("trunc");
+  write_binary(p, m);
+  // Chop the file in half.
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<long>(in.tellg());
+  in.close();
+  std::string data(static_cast<std::size_t>(size), '\0');
+  std::ifstream(p, std::ios::binary).read(data.data(), size);
+  std::ofstream(p, std::ios::binary | std::ios::trunc)
+      .write(data.data(), size / 2);
+  EXPECT_THROW(read_binary(p), Error);
+}
+
+TEST_F(SerializeTest, CorruptionRejectedByChecksum) {
+  const Coo m = uniform_random(100, 100, 1000, 9, ValueDist::kUniform01);
+  const auto p = path("corrupt");
+  write_binary(p, m);
+  // Flip one byte in the middle of the payload.
+  std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(100);
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(100);
+  b = static_cast<char>(b ^ 0x40);
+  f.write(&b, 1);
+  f.close();
+  EXPECT_THROW(read_binary(p), Error);
+}
+
+TEST_F(SerializeTest, DatasetCacheViaEnvironment) {
+  // With COSPARSE_CACHE_DIR set, a second load must reuse the cached file
+  // and produce the identical graph.
+  const std::string dir = "/tmp/cosparse_cache_test";
+  setenv("COSPARSE_CACHE_DIR", dir.c_str(), 1);
+  DatasetRegistry reg;
+  const auto a = reg.load("twitter", 128);
+  const std::string cached = dir + "/twitter_scale128.bin";
+  EXPECT_TRUE(std::ifstream(cached).good());
+  const auto b = reg.load("twitter", 128);
+  EXPECT_EQ(a.adjacency().triplets(), b.adjacency().triplets());
+  unsetenv("COSPARSE_CACHE_DIR");
+  std::remove(cached.c_str());
+}
+
+}  // namespace
+}  // namespace cosparse::sparse

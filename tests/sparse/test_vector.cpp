@@ -1,0 +1,76 @@
+#include "sparse/vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosparse::sparse {
+namespace {
+
+TEST(SparseVector, PushBackEnforcesOrder) {
+  SparseVector v(10);
+  v.push_back(2, 1.0);
+  v.push_back(5, 2.0);
+  EXPECT_THROW(v.push_back(5, 3.0), Error);  // duplicate
+  EXPECT_THROW(v.push_back(3, 3.0), Error);  // out of order
+  EXPECT_THROW(v.push_back(10, 3.0), Error); // out of range
+  EXPECT_EQ(v.nnz(), 2u);
+}
+
+TEST(SparseVector, AssignValidatesEntries) {
+  SparseVector v(4);
+  EXPECT_THROW(v.assign({{3, 1.0}, {1, 2.0}}), Error);
+  v.assign({{1, 2.0}, {3, 1.0}});
+  EXPECT_EQ(v.nnz(), 2u);
+}
+
+TEST(SparseVector, DensityComputed) {
+  SparseVector v(100);
+  for (Index i = 0; i < 25; ++i) v.push_back(i * 4, 1.0);
+  EXPECT_DOUBLE_EQ(v.density(), 0.25);
+}
+
+TEST(SparseVector, EmptyDimensionZeroDensity) {
+  SparseVector v;
+  EXPECT_DOUBLE_EQ(v.density(), 0.0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(DenseVector, ActiveCountWithIdentity) {
+  DenseVector v(5, 0.0);
+  v[1] = 2.0;
+  v[4] = -1.0;
+  EXPECT_EQ(v.count_active(0.0), 2u);
+  EXPECT_DOUBLE_EQ(v.density(0.0), 0.4);
+}
+
+TEST(Conversions, DenseSparseRoundTrip) {
+  DenseVector d(6, 0.0);
+  d[0] = 1.5;
+  d[3] = -2.0;
+  d[5] = 0.25;
+  const SparseVector s = to_sparse(d, 0.0);
+  EXPECT_EQ(s.nnz(), 3u);
+  const DenseVector back = to_dense(s, 0.0);
+  EXPECT_EQ(back, d);
+}
+
+TEST(Conversions, SparseDenseRoundTripWithNonZeroIdentity) {
+  SparseVector s(4, {{1, 7.0}, {2, 8.0}});
+  const DenseVector d = to_dense(s, -1.0);
+  EXPECT_DOUBLE_EQ(d[0], -1.0);
+  EXPECT_DOUBLE_EQ(d[1], 7.0);
+  const SparseVector back = to_sparse(d, -1.0);
+  EXPECT_EQ(back, s);
+}
+
+TEST(Conversions, ExplicitIdentityValuedEntryDropsOnRoundTrip) {
+  // An entry whose value equals the identity is indistinguishable from
+  // "absent" after densification — documented contract.
+  SparseVector s(4, {{1, 0.0}, {2, 8.0}});
+  const SparseVector round = to_sparse(to_dense(s, 0.0), 0.0);
+  EXPECT_EQ(round.nnz(), 1u);
+}
+
+}  // namespace
+}  // namespace cosparse::sparse
