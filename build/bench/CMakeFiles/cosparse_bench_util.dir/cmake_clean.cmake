@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/cosparse_bench_util.dir/bench_util.cpp.o.d"
+  "libcosparse_bench_util.a"
+  "libcosparse_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sw_crossover.dir/fig04_sw_crossover.cpp.o"
+  "CMakeFiles/fig04_sw_crossover.dir/fig04_sw_crossover.cpp.o.d"
+  "fig04_sw_crossover"
+  "fig04_sw_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sw_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

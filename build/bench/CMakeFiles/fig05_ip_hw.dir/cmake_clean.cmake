@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ip_hw.dir/fig05_ip_hw.cpp.o"
+  "CMakeFiles/fig05_ip_hw.dir/fig05_ip_hw.cpp.o.d"
+  "fig05_ip_hw"
+  "fig05_ip_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ip_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_op_hw.dir/fig06_op_hw.cpp.o"
+  "CMakeFiles/fig06_op_hw.dir/fig06_op_hw.cpp.o.d"
+  "fig06_op_hw"
+  "fig06_op_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_op_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vs_cpu_gpu.dir/fig08_vs_cpu_gpu.cpp.o"
+  "CMakeFiles/fig08_vs_cpu_gpu.dir/fig08_vs_cpu_gpu.cpp.o.d"
+  "fig08_vs_cpu_gpu"
+  "fig08_vs_cpu_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vs_cpu_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

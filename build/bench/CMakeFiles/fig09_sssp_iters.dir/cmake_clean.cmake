@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sssp_iters.dir/fig09_sssp_iters.cpp.o"
+  "CMakeFiles/fig09_sssp_iters.dir/fig09_sssp_iters.cpp.o.d"
+  "fig09_sssp_iters"
+  "fig09_sssp_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sssp_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

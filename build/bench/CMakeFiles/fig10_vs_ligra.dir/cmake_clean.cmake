@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vs_ligra.dir/fig10_vs_ligra.cpp.o"
+  "CMakeFiles/fig10_vs_ligra.dir/fig10_vs_ligra.cpp.o.d"
+  "fig10_vs_ligra"
+  "fig10_vs_ligra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vs_ligra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/spmv_micro.cpp" "bench/CMakeFiles/spmv_micro.dir/spmv_micro.cpp.o" "gcc" "bench/CMakeFiles/spmv_micro.dir/spmv_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cosparse_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cosparse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cosparse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosparse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cosparse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_micro.dir/spmv_micro.cpp.o"
+  "CMakeFiles/spmv_micro.dir/spmv_micro.cpp.o.d"
+  "spmv_micro"
+  "spmv_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

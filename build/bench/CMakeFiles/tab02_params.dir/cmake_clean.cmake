@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_params.dir/tab02_params.cpp.o"
+  "CMakeFiles/tab02_params.dir/tab02_params.cpp.o.d"
+  "tab02_params"
+  "tab02_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

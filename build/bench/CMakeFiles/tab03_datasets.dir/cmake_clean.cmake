@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_datasets.dir/tab03_datasets.cpp.o"
+  "CMakeFiles/tab03_datasets.dir/tab03_datasets.cpp.o.d"
+  "tab03_datasets"
+  "tab03_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_traversal.dir/frontier_traversal.cpp.o"
+  "CMakeFiles/frontier_traversal.dir/frontier_traversal.cpp.o.d"
+  "frontier_traversal"
+  "frontier_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_cf.dir/recommender_cf.cpp.o"
+  "CMakeFiles/recommender_cf.dir/recommender_cf.cpp.o.d"
+  "recommender_cf"
+  "recommender_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

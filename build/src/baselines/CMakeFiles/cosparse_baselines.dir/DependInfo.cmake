@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu_spmv.cpp" "src/baselines/CMakeFiles/cosparse_baselines.dir/cpu_spmv.cpp.o" "gcc" "src/baselines/CMakeFiles/cosparse_baselines.dir/cpu_spmv.cpp.o.d"
+  "/root/repo/src/baselines/gpu_model.cpp" "src/baselines/CMakeFiles/cosparse_baselines.dir/gpu_model.cpp.o" "gcc" "src/baselines/CMakeFiles/cosparse_baselines.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/baselines/ligra/apps.cpp" "src/baselines/CMakeFiles/cosparse_baselines.dir/ligra/apps.cpp.o" "gcc" "src/baselines/CMakeFiles/cosparse_baselines.dir/ligra/apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cosparse_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

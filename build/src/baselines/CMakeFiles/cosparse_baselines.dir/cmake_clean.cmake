@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_baselines.dir/cpu_spmv.cpp.o"
+  "CMakeFiles/cosparse_baselines.dir/cpu_spmv.cpp.o.d"
+  "CMakeFiles/cosparse_baselines.dir/gpu_model.cpp.o"
+  "CMakeFiles/cosparse_baselines.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/cosparse_baselines.dir/ligra/apps.cpp.o"
+  "CMakeFiles/cosparse_baselines.dir/ligra/apps.cpp.o.d"
+  "libcosparse_baselines.a"
+  "libcosparse_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_common.dir/cli.cpp.o"
+  "CMakeFiles/cosparse_common.dir/cli.cpp.o.d"
+  "CMakeFiles/cosparse_common.dir/log.cpp.o"
+  "CMakeFiles/cosparse_common.dir/log.cpp.o.d"
+  "CMakeFiles/cosparse_common.dir/table.cpp.o"
+  "CMakeFiles/cosparse_common.dir/table.cpp.o.d"
+  "libcosparse_common.a"
+  "libcosparse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/cosparse_graph.dir/algorithms.cpp.o.d"
+  "libcosparse_graph.a"
+  "libcosparse_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_kernels.dir/partition.cpp.o"
+  "CMakeFiles/cosparse_kernels.dir/partition.cpp.o.d"
+  "libcosparse_kernels.a"
+  "libcosparse_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/calibrate.cpp" "src/runtime/CMakeFiles/cosparse_runtime.dir/calibrate.cpp.o" "gcc" "src/runtime/CMakeFiles/cosparse_runtime.dir/calibrate.cpp.o.d"
+  "/root/repo/src/runtime/decision.cpp" "src/runtime/CMakeFiles/cosparse_runtime.dir/decision.cpp.o" "gcc" "src/runtime/CMakeFiles/cosparse_runtime.dir/decision.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/cosparse_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/cosparse_runtime.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cosparse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosparse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cosparse_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

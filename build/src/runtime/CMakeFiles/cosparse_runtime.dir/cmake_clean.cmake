@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_runtime.dir/calibrate.cpp.o"
+  "CMakeFiles/cosparse_runtime.dir/calibrate.cpp.o.d"
+  "CMakeFiles/cosparse_runtime.dir/decision.cpp.o"
+  "CMakeFiles/cosparse_runtime.dir/decision.cpp.o.d"
+  "CMakeFiles/cosparse_runtime.dir/engine.cpp.o"
+  "CMakeFiles/cosparse_runtime.dir/engine.cpp.o.d"
+  "libcosparse_runtime.a"
+  "libcosparse_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic.cpp" "src/sim/CMakeFiles/cosparse_sim.dir/analytic.cpp.o" "gcc" "src/sim/CMakeFiles/cosparse_sim.dir/analytic.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/cosparse_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/cosparse_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/cosparse_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/cosparse_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/cosparse_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/cosparse_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/cosparse_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/cosparse_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/cosparse_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/cosparse_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/cosparse_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/cosparse_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

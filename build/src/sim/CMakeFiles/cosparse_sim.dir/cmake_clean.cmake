@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_sim.dir/analytic.cpp.o"
+  "CMakeFiles/cosparse_sim.dir/analytic.cpp.o.d"
+  "CMakeFiles/cosparse_sim.dir/cache.cpp.o"
+  "CMakeFiles/cosparse_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/cosparse_sim.dir/config.cpp.o"
+  "CMakeFiles/cosparse_sim.dir/config.cpp.o.d"
+  "CMakeFiles/cosparse_sim.dir/dram.cpp.o"
+  "CMakeFiles/cosparse_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/cosparse_sim.dir/energy.cpp.o"
+  "CMakeFiles/cosparse_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/cosparse_sim.dir/machine.cpp.o"
+  "CMakeFiles/cosparse_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/cosparse_sim.dir/stats.cpp.o"
+  "CMakeFiles/cosparse_sim.dir/stats.cpp.o.d"
+  "libcosparse_sim.a"
+  "libcosparse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

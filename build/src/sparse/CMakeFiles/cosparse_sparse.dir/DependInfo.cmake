@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/datasets.cpp" "src/sparse/CMakeFiles/cosparse_sparse.dir/datasets.cpp.o" "gcc" "src/sparse/CMakeFiles/cosparse_sparse.dir/datasets.cpp.o.d"
+  "/root/repo/src/sparse/formats.cpp" "src/sparse/CMakeFiles/cosparse_sparse.dir/formats.cpp.o" "gcc" "src/sparse/CMakeFiles/cosparse_sparse.dir/formats.cpp.o.d"
+  "/root/repo/src/sparse/generate.cpp" "src/sparse/CMakeFiles/cosparse_sparse.dir/generate.cpp.o" "gcc" "src/sparse/CMakeFiles/cosparse_sparse.dir/generate.cpp.o.d"
+  "/root/repo/src/sparse/graph.cpp" "src/sparse/CMakeFiles/cosparse_sparse.dir/graph.cpp.o" "gcc" "src/sparse/CMakeFiles/cosparse_sparse.dir/graph.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/cosparse_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/cosparse_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/serialize.cpp" "src/sparse/CMakeFiles/cosparse_sparse.dir/serialize.cpp.o" "gcc" "src/sparse/CMakeFiles/cosparse_sparse.dir/serialize.cpp.o.d"
+  "/root/repo/src/sparse/vector.cpp" "src/sparse/CMakeFiles/cosparse_sparse.dir/vector.cpp.o" "gcc" "src/sparse/CMakeFiles/cosparse_sparse.dir/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

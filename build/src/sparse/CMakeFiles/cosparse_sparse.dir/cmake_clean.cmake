@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosparse_sparse.dir/datasets.cpp.o"
+  "CMakeFiles/cosparse_sparse.dir/datasets.cpp.o.d"
+  "CMakeFiles/cosparse_sparse.dir/formats.cpp.o"
+  "CMakeFiles/cosparse_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/cosparse_sparse.dir/generate.cpp.o"
+  "CMakeFiles/cosparse_sparse.dir/generate.cpp.o.d"
+  "CMakeFiles/cosparse_sparse.dir/graph.cpp.o"
+  "CMakeFiles/cosparse_sparse.dir/graph.cpp.o.d"
+  "CMakeFiles/cosparse_sparse.dir/io.cpp.o"
+  "CMakeFiles/cosparse_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/cosparse_sparse.dir/serialize.cpp.o"
+  "CMakeFiles/cosparse_sparse.dir/serialize.cpp.o.d"
+  "CMakeFiles/cosparse_sparse.dir/vector.cpp.o"
+  "CMakeFiles/cosparse_sparse.dir/vector.cpp.o.d"
+  "libcosparse_sparse.a"
+  "libcosparse_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosparse_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

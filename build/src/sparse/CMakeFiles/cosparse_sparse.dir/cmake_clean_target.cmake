@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcosparse_sparse.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_cpu_spmv.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_cpu_spmv.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_cpu_spmv.cpp.o.d"
+  "/root/repo/tests/baselines/test_cross_check.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_cross_check.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_cross_check.cpp.o.d"
+  "/root/repo/tests/baselines/test_ligra.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_ligra.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_ligra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cosparse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosparse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cosparse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cosparse_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cosparse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cosparse_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_cpu_spmv.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_cpu_spmv.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_cross_check.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_cross_check.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_ligra.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_ligra.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

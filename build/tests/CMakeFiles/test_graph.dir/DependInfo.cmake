@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_algo_stats.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_algo_stats.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_algo_stats.cpp.o.d"
+  "/root/repo/tests/graph/test_bfs.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_bfs.cpp.o.d"
+  "/root/repo/tests/graph/test_cc.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_cc.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_cc.cpp.o.d"
+  "/root/repo/tests/graph/test_cf.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_cf.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_cf.cpp.o.d"
+  "/root/repo/tests/graph/test_pagerank.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_pagerank.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_pagerank.cpp.o.d"
+  "/root/repo/tests/graph/test_sssp.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_sssp.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cosparse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosparse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cosparse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cosparse_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cosparse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cosparse_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

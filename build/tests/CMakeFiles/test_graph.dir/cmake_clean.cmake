@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_algo_stats.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_algo_stats.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_bfs.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_bfs.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_cc.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_cc.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_cf.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_cf.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_pagerank.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_pagerank.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_sssp.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_sssp.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

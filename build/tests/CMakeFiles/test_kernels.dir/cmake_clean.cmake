@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/kernels/test_frontier.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_frontier.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_ip_spmv.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_ip_spmv.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernel_properties.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernel_properties.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_op_spmv.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_op_spmv.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_partition.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_partition.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_semiring.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_semiring.cpp.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_analytic.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_analytic.cpp.o.d"
+  "/root/repo/tests/sim/test_cache.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cpp.o.d"
+  "/root/repo/tests/sim/test_config.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_config.cpp.o.d"
+  "/root/repo/tests/sim/test_dram.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_dram.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_dram.cpp.o.d"
+  "/root/repo/tests/sim/test_energy.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_energy.cpp.o.d"
+  "/root/repo/tests/sim/test_machine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "/root/repo/tests/sim/test_machine_configs.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_machine_configs.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine_configs.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosparse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cosparse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosparse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cosparse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cosparse_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cosparse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cosparse_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

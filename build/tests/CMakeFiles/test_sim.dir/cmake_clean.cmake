@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_analytic.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_analytic.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_config.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_config.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_dram.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_dram.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_energy.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_energy.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine_configs.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine_configs.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

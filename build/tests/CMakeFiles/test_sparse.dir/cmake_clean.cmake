@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse.dir/sparse/test_datasets.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_datasets.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_formats.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_formats.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_generate.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_generate.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_io.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_io.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_serialize.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_serialize.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_vector.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_vector.cpp.o.d"
+  "test_sparse"
+  "test_sparse.pdb"
+  "test_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
