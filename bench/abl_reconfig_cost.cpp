@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_option("costs", "reconfig cycle costs",
                  "0,10,1000,100000,1000000");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto base_sys = bench::parse_systems(cli.str("system")).front();
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
   const auto g = reg.load(cli.str("graph"), scale);
 
   // Baseline: no reconfiguration at all (IP in SC).
-  runtime::EngineOptions fixed;
+  runtime::EngineOptions fixed = bench::engine_options();
   fixed.sw_reconfig = false;
   fixed.hw_reconfig = false;
   fixed.fixed_sw = runtime::SwConfig::kIP;
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
   for (const auto cost : cli.int_list("costs")) {
     sim::SystemConfig sys = base_sys;
     sys.reconfig_cycles = static_cast<double>(cost);
-    runtime::Engine eng(g.adjacency(), sys);
+    runtime::Engine eng(g.adjacency(), sys, bench::engine_options());
     const auto run = graph::sssp(eng, 0);
     t.add_row({std::to_string(cost),
                Table::fmt(static_cast<double>(run.stats.cycles) / 1e6, 2),
@@ -61,5 +62,6 @@ int main(int argc, char** argv) {
   std::cout << "Expectation: the benefit is insensitive below ~1k cycles "
                "(switches are rare: 1-2 per run), so the <= 10-cycle "
                "Transmuter mechanism is far from being the bottleneck.\n";
+  bench::finish_run();
   return 0;
 }

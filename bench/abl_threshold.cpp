@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_option("coefficients", "cvd_coefficient values",
                  "0.0,0.016,0.08,0.16,0.32,1.6,16.0");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto sys = bench::parse_systems(cli.str("system")).front();
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
   Table t({"cvd coeff", "BFS Mcycles", "BFS IP iters", "SSSP Mcycles",
            "SSSP IP iters"});
   for (const double c : cli.real_list("coefficients")) {
-    runtime::EngineOptions opts;
+    runtime::EngineOptions opts = bench::engine_options();
     opts.thresholds.cvd_coefficient = c;
     if (c == 0.0) opts.thresholds.cvd_min = 0.0;
 
@@ -69,5 +70,6 @@ int main(int argc, char** argv) {
   bench::emit("abl_threshold", t);
   std::cout << "Expectation: a broad optimum around the calibrated 0.16; "
                "the always-IP and always-OP extremes are clearly worse.\n";
+  bench::finish_run();
   return 0;
 }

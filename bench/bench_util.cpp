@@ -30,6 +30,7 @@ KernelRun time_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
   run.cycles = machine.cycles();
   run.energy_pj = machine.energy_pj();
   run.stats = machine.stats();
+  run.load_imbalance = machine.load_imbalance();
   return run;
 }
 
@@ -46,6 +47,7 @@ KernelRun time_op(const sparse::Coo& m, const sparse::SparseVector& x,
   run.cycles = machine.cycles();
   run.energy_pj = machine.energy_pj();
   run.stats = machine.stats();
+  run.load_imbalance = machine.load_imbalance();
   return run;
 }
 
@@ -94,17 +96,105 @@ std::vector<SweepMatrix> sweep_matrices(unsigned scale, bool power_law,
   return out;
 }
 
+namespace {
+
+/// Process-wide observability sinks shared by every harness binary. Armed
+/// by init_observability(); all defaults are inert.
+struct ObsState {
+  std::string trace_path;
+  std::string report_path;
+  obs::Trace trace;  ///< disabled until a trace output is requested
+  obs::MetricsRegistry metrics;
+  obs::Report report{"bench"};
+};
+
+ObsState& obs_state() {
+  static ObsState s;
+  return s;
+}
+
+}  // namespace
+
 void emit(const std::string& name, const Table& table) {
   table.print(std::cout);
   std::cout << std::endl;
   std::filesystem::create_directories("bench_out");
   table.write_csv("bench_out/" + name + ".csv");
+
+  // Mirror into the run report so --report-out captures the same rows the
+  // CSV does.
+  Json t = Json::object();
+  Json header = Json::array();
+  for (const auto& h : table.header()) header.push_back(h);
+  t["header"] = std::move(header);
+  Json rows = Json::array();
+  for (const auto& row : table.data()) {
+    Json r = Json::array();
+    for (const auto& cell : row) r.push_back(cell);
+    rows.push_back(std::move(r));
+  }
+  t["rows"] = std::move(rows);
+  obs_state().report.root()["tables"][name] = std::move(t);
 }
 
 void add_common_options(CliParser& cli, const std::string& default_scale) {
   cli.add_option("scale", "size divisor (1 = paper-exact dimensions)",
                  default_scale);
   cli.add_option("seed", "base RNG seed", "1000");
+  add_observability_options(cli);
+}
+
+void add_observability_options(CliParser& cli) {
+  cli.add_option("report-out",
+                 "write a machine-readable JSON run report to this path", "");
+  cli.add_option("trace-out",
+                 "write Perfetto trace-event JSON to this path "
+                 "(COSPARSE_TRACE env var is the fallback)",
+                 "");
+}
+
+void init_observability(const CliParser& cli) {
+  ObsState& st = obs_state();
+  st.report = obs::Report(cli.program());
+  st.report_path = cli.str("report-out");
+  st.trace_path = cli.str("trace-out");
+  if (st.trace_path.empty()) st.trace_path = obs::trace_path_from_env();
+  if (!st.trace_path.empty()) st.trace = obs::Trace(true);
+}
+
+obs::Trace* trace() { return &obs_state().trace; }
+
+obs::MetricsRegistry& metrics() { return obs_state().metrics; }
+
+runtime::EngineOptions engine_options() {
+  runtime::EngineOptions o;
+  o.trace = trace();
+  o.metrics = &metrics();
+  return o;
+}
+
+void report_set(const std::string& key, Json value) {
+  obs_state().report.set(key, std::move(value));
+}
+
+Json to_json(const KernelRun& run) {
+  Json o = Json::object();
+  o["cycles"] = run.cycles;
+  o["energy_pj"] = run.energy_pj;
+  o["load_imbalance"] = run.load_imbalance;
+  o["stats"] = run.stats.to_json();
+  return o;
+}
+
+void finish_run() {
+  ObsState& st = obs_state();
+  if (!st.report_path.empty()) {
+    st.report.set("metrics", st.metrics.to_json());
+    st.report.write(st.report_path);
+  }
+  if (st.trace.enabled() && !st.trace_path.empty()) {
+    st.trace.write(st.trace_path);
+  }
 }
 
 }  // namespace cosparse::bench

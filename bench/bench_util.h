@@ -10,10 +10,15 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "kernels/frontier.h"
 #include "kernels/ip_spmv.h"
 #include "kernels/op_spmv.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "runtime/engine.h"
 #include "sim/machine.h"
 #include "sparse/formats.h"
 #include "sparse/vector.h"
@@ -24,6 +29,7 @@ struct KernelRun {
   Cycles cycles = 0;
   Picojoules energy_pj = 0;
   sim::Stats stats;
+  double load_imbalance = 0.0;  ///< max/mean per-tile busy cycles
 
   [[nodiscard]] double seconds(double freq_ghz = 1.0) const {
     return static_cast<double>(cycles) / (freq_ghz * 1e9);
@@ -57,10 +63,48 @@ struct SweepMatrix {
 std::vector<SweepMatrix> sweep_matrices(unsigned scale, bool power_law,
                                         std::uint64_t seed = 1000);
 
-/// Prints the table and writes bench_out/<name>.csv (creating the dir).
+/// Prints the table, writes bench_out/<name>.csv (creating the dir) and
+/// mirrors the rows into the run report's "tables" section.
 void emit(const std::string& name, const Table& table);
 
-/// Adds the standard options shared by all harnesses.
+/// Adds the standard options shared by all harnesses, including the
+/// observability outputs --report-out and --trace-out.
 void add_common_options(CliParser& cli, const std::string& default_scale);
+
+/// Just the --report-out / --trace-out pair (for harnesses that do not
+/// take --scale). Included in add_common_options().
+void add_observability_options(CliParser& cli);
+
+// ---- process-wide observability (one run report + trace per binary) ----
+
+/// Reads --report-out / --trace-out (the trace path falls back to the
+/// COSPARSE_TRACE environment variable) and arms the sinks below. Call
+/// once right after cli.parse(); harmless to skip — the sinks then stay
+/// disabled/unwritten.
+void init_observability(const CliParser& cli);
+
+/// The process-wide trace sink. Never nullptr, but disabled (null sink)
+/// unless a trace output was requested. Pass into EngineOptions::trace or
+/// sim::Machine::set_trace.
+[[nodiscard]] obs::Trace* trace();
+
+/// The process-wide metrics registry. Pass into EngineOptions::metrics.
+[[nodiscard]] obs::MetricsRegistry& metrics();
+
+/// Default EngineOptions with the process-wide trace/metrics sinks already
+/// attached; harnesses adjust the remaining fields as usual.
+[[nodiscard]] runtime::EngineOptions engine_options();
+
+/// Sets a top-level section of the run report (e.g. "config", "dataset").
+void report_set(const std::string& key, Json value);
+
+/// Serializes one KernelRun for report sections: cycles, energy, stats,
+/// load imbalance.
+[[nodiscard]] Json to_json(const KernelRun& run);
+
+/// Folds the metrics registry into the report, then writes the report and
+/// trace to the paths requested at init_observability() time (no-op for
+/// outputs that were not requested). Call at the end of main().
+void finish_run();
 
 }  // namespace cosparse::bench

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_option("densities", "vector densities",
                  "0.0025,0.005,0.01,0.02,0.04");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto systems = bench::parse_systems(cli.str("systems"));
@@ -65,5 +66,6 @@ int main(int argc, char** argv) {
   // crosses 1.0, interpolated on the first matrix).
   std::cout << "Takeaway (paper §III-C.1): CVD should fall as PEs/tile "
                "rises; expect ~2% at 8 PEs/tile -> ~0.5% at 32.\n";
+  bench::finish_run();
   return 0;
 }

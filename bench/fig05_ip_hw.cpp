@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_option("densities", "vector densities",
                  "0.0025,0.005,0.01,0.02,0.04");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto systems = bench::parse_systems(cli.str("systems"));
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
 
   std::cout << "Takeaway (paper §III-C.2): SCS speedup is positively "
                "correlated with vector density and with SPM reuse.\n";
+  bench::finish_run();
   return 0;
 }

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   cli.add_option("ip-density", "IP vector density", "1.0");
   cli.add_option("op-density", "OP vector density", "0.1");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto sys = bench::parse_systems(cli.str("system")).front();
@@ -115,5 +116,6 @@ int main(int argc, char** argv) {
   std::cout << "Takeaway (paper §IV-B): balancing buys 7-30% for IP "
                "(more for SC than SCS); power-law OP beats uniform OP "
                "outright; partitioning adds up to ~10% for OP.\n";
+  bench::finish_run();
   return 0;
 }

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   cli.add_option("graphs", "dataset list", "vsp,twitter,youtube,pokec");
   cli.add_option("densities", "vector densities", "0.001,0.01,0.1,1.0");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto sys = bench::parse_systems(cli.str("system")).front();
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
   for (const auto& name : names) {
     const auto g = reg.load(name, scale);
     const Index n = g.num_vertices();
-    runtime::Engine eng(g.adjacency(), sys);
+    runtime::Engine eng(g.adjacency(), sys, bench::engine_options());
     const auto csr_t =
         sparse::coo_to_csr(sparse::transpose(g.adjacency()));
 
@@ -118,5 +119,6 @@ int main(int argc, char** argv) {
             << " energy\n"
             << "Paper averages: 4.5x / 282.5x (CPU), 17.3x / 730.6x (GPU); "
                "gains should grow as density falls.\n";
+  bench::finish_run();
   return 0;
 }

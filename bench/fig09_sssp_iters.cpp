@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   cli.add_option("graph", "dataset name", "pokec");
   cli.add_option("source", "SSSP source vertex", "0");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto sys = bench::parse_systems(cli.str("system")).front();
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
            "best SW", "best HW", "chosen"});
 
   runtime::DecisionEngine decider(sys);
+  decider.set_metrics(&bench::metrics());
   std::vector<Value> dist(n, kernels::kInf);
   dist[source] = 0;
   sparse::SparseVector frontier(n);
@@ -147,5 +149,6 @@ int main(int argc, char** argv) {
                "baseline: "
             << Table::fmt_ratio(baseline_total / reconfig_total)
             << " (paper: 1.51x on pokec; <= 2.0x across workloads)\n";
+  bench::finish_run();
   return 0;
 }

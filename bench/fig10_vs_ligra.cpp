@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   cli.add_option("pr-iters", "PageRank iterations", "10");
   cli.add_option("cf-iters", "CF iterations", "5");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
   const auto sys = bench::parse_systems(cli.str("system")).front();
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
     const auto g = reg.load(name, scale);
     const auto lg = baselines::ligra::LigraGraph::build(g.adjacency());
     {
-      runtime::Engine eng(g.adjacency(), sys);
+      runtime::Engine eng(g.adjacency(), sys, bench::engine_options());
       graph::PageRankOptions opts;
       opts.max_iterations = pr_iters;
       opts.tolerance = 0.0;
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
              ours.stats.joules(), theirs.costs.seconds, theirs.costs.joules);
     }
     {
-      runtime::Engine eng(g.adjacency(), sys);
+      runtime::Engine eng(g.adjacency(), sys, bench::engine_options());
       graph::CfOptions opts;
       opts.iterations = cf_iters;
       const auto ours = graph::cf(eng, g.adjacency(), opts);
@@ -95,14 +96,14 @@ int main(int argc, char** argv) {
     const auto g = reg.load(name, scale);
     const auto lg = baselines::ligra::LigraGraph::build(g.adjacency());
     {
-      runtime::Engine eng(g.adjacency(), sys);
+      runtime::Engine eng(g.adjacency(), sys, bench::engine_options());
       const auto ours = graph::bfs(eng, 0);
       const auto theirs = baselines::ligra::ligra_bfs(lg, 0);
       record("BFS", name, ours.stats.seconds(sys.freq_ghz),
              ours.stats.joules(), theirs.costs.seconds, theirs.costs.joules);
     }
     {
-      runtime::Engine eng(g.adjacency(), sys);
+      runtime::Engine eng(g.adjacency(), sys, bench::engine_options());
       const auto ours = graph::sssp(eng, 0);
       const auto theirs = baselines::ligra::ligra_sssp(lg, 0);
       record("SSSP", name, ours.stats.seconds(sys.freq_ghz),
@@ -117,5 +118,6 @@ int main(int argc, char** argv) {
             << Table::fmt_ratio(std::exp(energy_log / samples))
             << "\nPaper: max 3.5x speedup; average 404.4x energy gain; "
                "Ligra slightly ahead only on pokec BFS/SSSP.\n";
+  bench::finish_run();
   return 0;
 }

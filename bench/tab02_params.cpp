@@ -11,7 +11,9 @@ using namespace cosparse;
 int main(int argc, char** argv) {
   CliParser cli("tab02_params", "Table II: microarchitectural parameters");
   cli.add_option("system", "AxB system", "16x16");
+  bench::add_observability_options(cli);
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
 
   const auto sys = bench::parse_systems(cli.str("system")).front();
 
@@ -71,5 +73,6 @@ int main(int argc, char** argv) {
             << sys.scs_spm_bytes_per_tile() / 1024
             << " kB/tile; PS SPM " << sys.ps_spm_bytes_per_pe() / 1024
             << " kB/PE\n";
+  bench::finish_run();
   return 0;
 }

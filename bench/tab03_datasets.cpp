@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   CliParser cli("tab03_datasets", "Table III: graph specifications");
   bench::add_common_options(cli, "16");
   if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
   const auto scale = static_cast<unsigned>(cli.integer("scale"));
 
   std::cout << "Table III: real-world graph specifications (paper values) "
@@ -38,5 +39,6 @@ int main(int argc, char** argv) {
                "uniform for vsp; |V| and |E| divided by scale (average "
                "degree preserved). Set COSPARSE_DATA_DIR to load real SNAP "
                "edge lists instead.\n";
+  bench::finish_run();
   return 0;
 }

@@ -7,11 +7,15 @@
 //   ./frontier_traversal [--graph pokec] [--scale 32] [--source 0]
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "graph/algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
+#include "runtime/report.h"
 #include "sparse/datasets.h"
 
 using namespace cosparse;
@@ -40,6 +44,11 @@ int main(int argc, char** argv) {
   cli.add_option("graph", "dataset name (Table III)", "pokec");
   cli.add_option("scale", "dataset scale divisor", "32");
   cli.add_option("source", "source vertex", "0");
+  cli.add_option("report-out", "write a JSON run report to this path", "");
+  cli.add_option("trace-out",
+                 "write Perfetto trace-event JSON to this path "
+                 "(COSPARSE_TRACE env var is the fallback)",
+                 "");
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
@@ -48,12 +57,23 @@ int main(int argc, char** argv) {
   const auto source = static_cast<Index>(cli.integer("source"));
   const auto system = sim::SystemConfig::transmuter(16, 16);
 
+  // Shared observability sinks: all three traversal engines publish into
+  // the same trace/metrics, so algo.bfs.*, algo.cc.* and algo.sssp.* land
+  // in one registry and one timeline.
+  std::string trace_path = cli.str("trace-out");
+  if (trace_path.empty()) trace_path = obs::trace_path_from_env();
+  obs::Trace trace(!trace_path.empty());
+  obs::MetricsRegistry metrics;
+  runtime::EngineOptions obs_opts;
+  obs_opts.trace = &trace;
+  obs_opts.metrics = &metrics;
+
   std::cout << "Traversals on " << graph.name() << " stand-in ("
             << graph.num_vertices() << " vertices, " << graph.num_edges()
             << " edges), " << system.name() << " system\n\n";
 
   {
-    runtime::Engine engine(graph.adjacency(), system);
+    runtime::Engine engine(graph.adjacency(), system, obs_opts);
     const auto bfs = graph::bfs(engine, source);
     std::size_t reached = 0;
     std::int64_t max_level = 0;
@@ -74,7 +94,8 @@ int main(int argc, char** argv) {
   {
     // Connected components run on the symmetrized adjacency (weakly
     // connected components of the directed stand-in).
-    runtime::Engine engine(sparse::symmetrize(graph.adjacency()), system);
+    runtime::Engine engine(sparse::symmetrize(graph.adjacency()), system,
+                           obs_opts);
     const auto cc = graph::connected_components(engine);
     std::cout << "Connected components: " << cc.num_components
               << " components in " << cc.stats.iterations
@@ -83,7 +104,7 @@ int main(int argc, char** argv) {
   }
 
   {
-    runtime::Engine engine(graph.adjacency(), system);
+    runtime::Engine engine(graph.adjacency(), system, obs_opts);
     const auto sssp = graph::sssp(engine, source);
     double max_dist = 0;
     std::size_t reached = 0;
@@ -99,6 +120,25 @@ int main(int argc, char** argv) {
     std::cout << "total " << sssp.stats.cycles / 1000 << " Kcycles, "
               << sssp.stats.sw_switches() << " dataflow switches, "
               << sssp.stats.hw_switches() << " memory reconfigurations\n";
+
+    // The report covers the last engine's machine (the SSSP run) plus the
+    // metrics registry all three traversals shared.
+    if (const std::string path = cli.str("report-out"); !path.empty()) {
+      obs::Report report =
+          runtime::make_run_report(engine, "frontier_traversal");
+      Json dataset = Json::object();
+      dataset["graph"] = graph.name();
+      dataset["vertices"] = graph.num_vertices();
+      dataset["edges"] = graph.num_edges();
+      report.set("dataset", std::move(dataset));
+      report.write(path);
+      std::cout << "wrote run report to " << path << "\n";
+    }
+  }
+  if (trace.enabled()) {
+    trace.write(trace_path);
+    std::cout << "wrote trace to " << trace_path
+              << " (open at ui.perfetto.dev)\n";
   }
   return 0;
 }

@@ -1,16 +1,23 @@
-// Quickstart: the CoSPARSE public API in ~40 lines.
+// Quickstart: the CoSPARSE public API in ~60 lines.
 //
 // Builds a small random graph, runs two SpMV iterations through the
-// reconfiguring engine — one sparse frontier, one dense — and shows the
-// software/hardware configuration the runtime picked for each, plus the
-// simulated cost.
+// reconfiguring engine — one sparse frontier, one dense — plus a BFS over
+// the same graph, and shows the software/hardware configuration the
+// runtime picked for each step, plus the simulated cost. With
+// --report-out / --trace-out the same run emits a machine-readable JSON
+// run report and a Perfetto-loadable trace.
 //
-//   ./quickstart [--vertices N] [--edges M]
+//   ./quickstart [--vertices N] [--edges M] [--report-out run.json]
+//                [--trace-out trace.json]
 #include <iostream>
 
 #include "common/cli.h"
+#include "graph/algorithms.h"
 #include "kernels/semiring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
+#include "runtime/report.h"
 #include "sparse/generate.h"
 
 using namespace cosparse;
@@ -19,9 +26,16 @@ int main(int argc, char** argv) {
   CliParser cli("quickstart", "CoSPARSE API quickstart");
   cli.add_option("vertices", "number of vertices", "20000");
   cli.add_option("edges", "number of edges", "200000");
+  cli.add_option("report-out", "write a JSON run report to this path", "");
+  cli.add_option("trace-out",
+                 "write Perfetto trace-event JSON to this path "
+                 "(COSPARSE_TRACE env var is the fallback)",
+                 "");
   if (!cli.parse(argc, argv)) return 1;
   const auto n = static_cast<Index>(cli.integer("vertices"));
   const auto m = static_cast<std::uint64_t>(cli.integer("edges"));
+  std::string trace_path = cli.str("trace-out");
+  if (trace_path.empty()) trace_path = obs::trace_path_from_env();
 
   // 1. An input graph (any sparse::Coo adjacency works; see sparse/io.h
   //    for Matrix Market / SNAP edge-list loaders).
@@ -31,9 +45,15 @@ int main(int argc, char** argv) {
 
   // 2. A simulated Transmuter-class system (Table II defaults) and the
   //    engine: it keeps both matrix layouts resident and reconfigures the
-  //    memory hierarchy per SpMV invocation.
+  //    memory hierarchy per SpMV invocation. The trace/metrics sinks are
+  //    optional — without them the engine pays one pointer test per event.
   const auto system = sim::SystemConfig::transmuter(4, 8);
-  runtime::Engine engine(adjacency, system);
+  obs::Trace trace(!trace_path.empty());
+  obs::MetricsRegistry metrics;
+  runtime::EngineOptions opts;
+  opts.trace = &trace;
+  opts.metrics = &metrics;
+  runtime::Engine engine(adjacency, system, opts);
 
   // 3. SpMV with a *sparse* frontier (0.1% of vertices active): the
   //    decision tree picks the outer-product dataflow.
@@ -48,6 +68,12 @@ int main(int argc, char** argv) {
   const auto out2 = engine.spmv(
       runtime::Engine::Frontier::from_dense(dense_x), kernels::PlainSpmv{});
 
+  // 5. A whole graph algorithm over the same engine: BFS drives SpMV until
+  //    the frontier empties, reconfiguring as the density changes.
+  const auto bfs = graph::bfs(engine, /*source=*/0);
+  std::size_t reached = 0;
+  for (auto l : bfs.level) reached += l >= 0 ? 1 : 0;
+
   std::cout << "CoSPARSE quickstart on a " << n << "-vertex, " << m
             << "-edge random graph, " << system.name() << " system\n\n";
   for (const auto& it : engine.iterations()) {
@@ -59,8 +85,27 @@ int main(int argc, char** argv) {
   }
   std::cout << "\ntouched " << out1.num_touched() << " rows (sparse run), "
             << out2.num_touched() << " rows (dense run)\n"
+            << "BFS from vertex 0: reached " << reached << " vertices in "
+            << bfs.stats.iterations << " iterations\n"
             << "total: " << engine.total_cycles() << " cycles, "
             << engine.total_energy_pj() * 1e-6 << " uJ, avg "
             << engine.machine().watts() << " W\n";
+
+  // 6. Machine-readable outputs: one JSON run report (global + per-tile
+  //    stats, iteration records, metrics) and a Perfetto trace.
+  if (const std::string path = cli.str("report-out"); !path.empty()) {
+    obs::Report report = runtime::make_run_report(engine, "quickstart");
+    Json dataset = Json::object();
+    dataset["vertices"] = n;
+    dataset["edges"] = m;
+    report.set("dataset", std::move(dataset));
+    report.write(path);
+    std::cout << "wrote run report to " << path << "\n";
+  }
+  if (trace.enabled()) {
+    trace.write(trace_path);
+    std::cout << "wrote trace to " << trace_path
+              << " (open at ui.perfetto.dev)\n";
+  }
   return 0;
 }

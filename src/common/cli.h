@@ -39,6 +39,7 @@ class CliParser {
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
+  [[nodiscard]] const std::string& program() const { return program_; }
 
   void print_usage() const;
 

@@ -1,12 +1,32 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace cosparse::log {
 namespace {
 
-std::atomic<Level> g_threshold{Level::kInfo};
+Level initial_threshold() {
+  const char* env = std::getenv("COSPARSE_LOG");
+  if (env == nullptr) return Level::kInfo;
+  return parse_level(env).value_or(Level::kInfo);
+}
+
+std::atomic<Level>& threshold_storage() {
+  static std::atomic<Level> t{initial_threshold()};
+  return t;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// Guarded by sink_mutex(); nullptr means stderr.
+std::ostream* g_sink = nullptr;
 
 const char* tag(Level level) {
   switch (level) {
@@ -20,15 +40,64 @@ const char* tag(Level level) {
 
 }  // namespace
 
-Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+Level threshold() noexcept {
+  return threshold_storage().load(std::memory_order_relaxed);
+}
 
 void set_threshold(Level level) noexcept {
-  g_threshold.store(level, std::memory_order_relaxed);
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+std::optional<Level> parse_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  return std::nullopt;
+}
+
+void set_sink(std::ostream* sink) noexcept {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  g_sink = sink;
 }
 
 void write(Level level, std::string_view msg) {
-  std::fprintf(stderr, "[cosparse %s] %.*s\n", tag(level),
-               static_cast<int>(msg.size()), msg.data());
+  // Format outside the lock; emit as one write so concurrent callers never
+  // interleave within a line.
+  std::string line = "[cosparse ";
+  line += tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  if (g_sink != nullptr) {
+    g_sink->write(line.data(), static_cast<std::streamsize>(line.size()));
+    g_sink->flush();
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Field& f) {
+  os << ' ' << f.key << '=';
+  const bool quote =
+      f.value.empty() ||
+      f.value.find_first_of(" \t=\"") != std::string::npos;
+  if (quote) {
+    os << '"';
+    for (const char c : f.value) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  } else {
+    os << f.value;
+  }
+  return os;
 }
 
 }  // namespace cosparse::log

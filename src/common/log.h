@@ -1,20 +1,63 @@
-// Minimal leveled logger. Benchmarks and examples print structured tables
-// through common/table.h; this logger is for diagnostics only.
+// Minimal leveled logger with structured key=value fields.
+//
+// Benchmarks and examples print result tables through common/table.h; this
+// logger is for diagnostics. Messages are a free-text head followed by
+// `key=value` fields appended via log::kv(), so lines stay grep- and
+// machine-friendly:
+//
+//   log::info("reconfigured", log::kv("from", "SC"), log::kv("to", "PS"));
+//   -> [cosparse INFO ] reconfigured from=SC to=PS
+//
+// The threshold initializes from the COSPARSE_LOG environment variable
+// (debug|info|warn|error, default info). write() is safe for concurrent
+// callers, and the sink can be redirected to any std::ostream so tests can
+// assert on log output.
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <utility>
 
 namespace cosparse::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. The initial value
+/// comes from COSPARSE_LOG (debug|info|warn|error), defaulting to info.
 Level threshold() noexcept;
 void set_threshold(Level level) noexcept;
 
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive); nullopt on
+/// anything else.
+std::optional<Level> parse_level(std::string_view name) noexcept;
+
+/// Redirects log output to `sink` (nullptr restores stderr). The caller
+/// keeps ownership; the stream must outlive any logging. Thread-safe.
+void set_sink(std::ostream* sink) noexcept;
+
+/// Emits one formatted line to the current sink. Thread-safe: each call
+/// produces exactly one uninterleaved line.
 void write(Level level, std::string_view msg);
+
+/// One structured field, rendered as ` key=value`. Values containing
+/// whitespace or '=' are quoted so lines stay unambiguous to parse.
+struct Field {
+  std::string key;
+  std::string value;
+};
+
+std::ostream& operator<<(std::ostream& os, const Field& f);
+
+/// Builds a structured field from any streamable value.
+template <class T>
+Field kv(std::string key, const T& value) {
+  std::ostringstream os;
+  os << value;
+  return Field{std::move(key), os.str()};
+}
 
 namespace detail {
 

@@ -1,6 +1,7 @@
 #include "graph/algorithms.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -13,12 +14,15 @@ using kernels::DenseFrontier;
 using runtime::Engine;
 using sparse::SparseVector;
 
-/// Captures engine totals at algorithm start and slices out the
-/// algorithm's own contribution at the end.
+/// Captures engine totals at algorithm start, slices out the algorithm's
+/// own contribution at the end, and publishes it into the engine's
+/// attached observability sinks (algo.<name>.* counters, one "algos" track
+/// span covering the whole run).
 class StatsScope {
  public:
-  explicit StatsScope(Engine& eng)
+  StatsScope(Engine& eng, const char* algo)
       : eng_(&eng),
+        algo_(algo),
         start_cycles_(eng.total_cycles()),
         start_energy_(eng.total_energy_pj()),
         start_log_(eng.iterations().size()) {}
@@ -31,11 +35,25 @@ class StatsScope {
                                static_cast<std::ptrdiff_t>(start_log_),
                            eng_->iterations().end());
     s.iterations = static_cast<std::uint32_t>(s.per_iteration.size());
+    if (obs::MetricsRegistry* m = eng_->metrics(); m != nullptr) {
+      const std::string prefix = std::string("algo.") + algo_;
+      m->counter(prefix + ".runs").inc();
+      m->counter(prefix + ".iterations").inc(s.iterations);
+      m->counter(prefix + ".cycles").inc(s.cycles);
+    }
+    if (obs::Trace* t = eng_->trace(); t != nullptr && t->enabled()) {
+      Json args = Json::object();
+      args["iterations"] = s.iterations;
+      args["energy_pj"] = s.energy_pj;
+      t->add_span("algos", algo_, static_cast<double>(start_cycles_),
+                  static_cast<double>(eng_->total_cycles()), std::move(args));
+    }
     return s;
   }
 
  private:
   Engine* eng_;
+  const char* algo_;
   Cycles start_cycles_;
   Picojoules start_energy_;
   std::size_t start_log_;
@@ -58,7 +76,7 @@ std::uint32_t AlgoStats::hw_switches() const {
 BfsResult bfs(Engine& eng, Index source) {
   const Index n = eng.dimension();
   COSPARSE_REQUIRE(source < n, "BFS source vertex out of range");
-  StatsScope scope(eng);
+  StatsScope scope(eng, "bfs");
 
   BfsResult res;
   res.level.assign(n, -1);
@@ -110,7 +128,7 @@ SsspResult sssp(Engine& eng, Index source, std::uint32_t max_iterations) {
   if (max_iterations == 0) {
     max_iterations = n > 0 ? n - 1 : 0;  // Bellman-Ford bound
   }
-  StatsScope scope(eng);
+  StatsScope scope(eng, "sssp");
 
   SsspResult res;
   res.dist.assign(n, kernels::kInf);
@@ -160,7 +178,7 @@ PageRankResult pagerank(Engine& eng, std::span<const Index> out_degrees,
   const Index n = eng.dimension();
   COSPARSE_REQUIRE(out_degrees.size() == n,
                    "out_degrees size must match the graph");
-  StatsScope scope(eng);
+  StatsScope scope(eng, "pagerank");
 
   PageRankResult res;
   res.rank.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
@@ -202,7 +220,7 @@ PageRankResult pagerank(Engine& eng, std::span<const Index> out_degrees,
 
 CcResult connected_components(Engine& eng) {
   const Index n = eng.dimension();
-  StatsScope scope(eng);
+  StatsScope scope(eng, "cc");
 
   CcResult res;
   res.component.resize(n);
@@ -259,7 +277,7 @@ CfResult cf(Engine& eng, const sparse::Coo& ratings, CfOptions opts) {
   const Index n = eng.dimension();
   COSPARSE_REQUIRE(ratings.rows() == n && ratings.cols() == n,
                    "ratings matrix must match the engine's graph");
-  StatsScope scope(eng);
+  StatsScope scope(eng, "cf");
 
   CfResult res;
   res.latent.assign(n, 0.0);

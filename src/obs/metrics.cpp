@@ -1,0 +1,92 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosparse::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  COSPARSE_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bucket bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<double> MetricsRegistry::default_bounds() {
+  return {1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0};
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+Json MetricsRegistry::to_json() const {
+  Json o = Json::object();
+  if (!counters_.empty()) {
+    Json c = Json::object();
+    for (const auto& [name, m] : counters_) c[name] = m->value();
+    o["counters"] = std::move(c);
+  }
+  if (!gauges_.empty()) {
+    Json g = Json::object();
+    for (const auto& [name, m] : gauges_) g[name] = m->value();
+    o["gauges"] = std::move(g);
+  }
+  if (!histograms_.empty()) {
+    Json h = Json::object();
+    for (const auto& [name, m] : histograms_) {
+      Json one = Json::object();
+      Json bounds = Json::array();
+      for (const double b : m->bounds()) bounds.push_back(b);
+      Json counts = Json::array();
+      for (const std::uint64_t c : m->bucket_counts()) counts.push_back(c);
+      one["bounds"] = std::move(bounds);
+      one["bucket_counts"] = std::move(counts);
+      one["count"] = m->count();
+      one["sum"] = m->sum();
+      h[name] = std::move(one);
+    }
+    o["histograms"] = std::move(h);
+  }
+  return o;
+}
+
+}  // namespace cosparse::obs

@@ -1,0 +1,89 @@
+// Lightweight metrics registry: named counters, gauges and histograms.
+//
+// Producers (runtime::Engine, runtime::DecisionEngine, graph algorithms)
+// publish into a registry the caller owns; nothing is global. All metric
+// handles returned by the registry stay stable for its lifetime, so hot
+// paths can look a metric up once and inc() a reference afterwards.
+// Iteration order (and hence JSON/report order) is the metric name order,
+// deterministic across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cosparse::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges in
+/// ascending order; one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Lookup-or-create; the reference stays valid for the registry's life.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` apply on first creation only; later calls return the
+  /// existing histogram unchanged.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = default_bounds());
+
+  /// Density-style default buckets spanning [1e-4, 1].
+  static std::vector<double> default_bounds();
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with metric
+  /// names sorted; empty sections are omitted.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cosparse::obs

@@ -1,0 +1,28 @@
+#include "obs/report.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace cosparse::obs {
+
+Report::Report(std::string tool) {
+  doc_ = Json::object();
+  doc_["schema"] = kReportSchema;
+  doc_["tool"] = std::move(tool);
+}
+
+void Report::set(const std::string& key, Json value) {
+  doc_[key] = std::move(value);
+}
+
+void Report::write(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(path);
+  COSPARSE_REQUIRE(os.good(), "cannot open report output file: " + path);
+  os << to_string() << '\n';
+}
+
+}  // namespace cosparse::obs

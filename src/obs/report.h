@@ -1,0 +1,43 @@
+// Machine-readable run reports.
+//
+// A Report is one JSON document describing a complete run — tool, system
+// config, dataset, per-iteration records, final stats (global and
+// per-tile), energy, metrics and any result tables — written next to the
+// existing CSV mirrors. The schema is documented in DESIGN.md §8
+// ("Observability") and checked by tests/obs/report_schema.h; bump
+// kReportSchema when making an incompatible change.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace cosparse::obs {
+
+inline constexpr std::string_view kReportSchema = "cosparse.run_report/v1";
+
+class Report {
+ public:
+  /// `tool` is the producing binary/harness name (e.g. "quickstart",
+  /// "fig07_balance").
+  explicit Report(std::string tool);
+
+  /// Sets (or replaces) a top-level section. Well-known keys: "config",
+  /// "dataset", "iterations", "stats", "tile_stats", "derived", "totals",
+  /// "metrics", "tables".
+  void set(const std::string& key, Json value);
+
+  [[nodiscard]] const Json& root() const { return doc_; }
+  [[nodiscard]] Json& root() { return doc_; }
+
+  [[nodiscard]] std::string to_string() const { return doc_.dump(1); }
+
+  /// Writes the document to `path`, creating parent directories.
+  void write(const std::string& path) const;
+
+ private:
+  Json doc_;
+};
+
+}  // namespace cosparse::obs

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace cosparse::obs {
+
+std::uint32_t Trace::track_id(std::string_view track) {
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == track) return i;
+  }
+  tracks_.emplace_back(track);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Trace::add_span(std::string_view track, std::string_view name,
+                     double begin_cycles, double end_cycles, Json args) {
+  if (!enabled_) return;
+  events_.push_back(Event{Phase::kSpan, track_id(track), std::string(name),
+                          begin_cycles, end_cycles - begin_cycles,
+                          std::move(args)});
+}
+
+void Trace::add_instant(std::string_view track, std::string_view name,
+                        double at_cycles, Json args) {
+  if (!enabled_) return;
+  events_.push_back(Event{Phase::kInstant, track_id(track), std::string(name),
+                          at_cycles, 0.0, std::move(args)});
+}
+
+void Trace::add_counter(std::string_view track, std::string_view name,
+                        double at_cycles, double value) {
+  if (!enabled_) return;
+  events_.push_back(Event{Phase::kCounter, track_id(track), std::string(name),
+                          at_cycles, value, Json()});
+}
+
+Json Trace::to_json() const {
+  Json events = Json::array();
+
+  // Process + per-track thread names so Perfetto labels the timeline.
+  {
+    Json m = Json::object();
+    m["ph"] = "M";
+    m["name"] = "process_name";
+    m["pid"] = 1;
+    m["args"]["name"] = "cosparse";
+    events.push_back(std::move(m));
+  }
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    Json m = Json::object();
+    m["ph"] = "M";
+    m["name"] = "thread_name";
+    m["pid"] = 1;
+    m["tid"] = t + 1;
+    m["args"]["name"] = tracks_[t];
+    events.push_back(std::move(m));
+  }
+
+  // Emit in timestamp order (stable: producers append in causal order).
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const auto& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  for (const Event* e : ordered) {
+    Json j = Json::object();
+    j["name"] = e->name;
+    j["cat"] = "cosparse";
+    j["pid"] = 1;
+    j["tid"] = e->track + 1;
+    j["ts"] = e->ts;
+    switch (e->phase) {
+      case Phase::kSpan:
+        j["ph"] = "X";
+        j["dur"] = e->dur;
+        break;
+      case Phase::kInstant:
+        j["ph"] = "i";
+        j["s"] = "t";  // thread-scoped instant
+        break;
+      case Phase::kCounter:
+        j["ph"] = "C";
+        j["args"][e->name] = e->dur;
+        break;
+    }
+    if (e->phase != Phase::kCounter && !e->args.is_null()) {
+      j["args"] = e->args;
+    }
+    events.push_back(std::move(j));
+  }
+
+  Json doc = Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  doc["otherData"]["clock"] = "simulated cycles (1 cycle = 1 trace us)";
+  return doc;
+}
+
+void Trace::write(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(path);
+  COSPARSE_REQUIRE(os.good(), "cannot open trace output file: " + path);
+  os << to_json().dump(1);
+  os << '\n';
+}
+
+std::string trace_path_from_env() {
+  const char* env = std::getenv("COSPARSE_TRACE");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+}  // namespace cosparse::obs

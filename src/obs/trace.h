@@ -1,0 +1,76 @@
+// Trace-event recording with simulated-cycle timestamps.
+//
+// A Trace collects complete spans ("X" phase), instants and counter samples
+// on named tracks and exports Chrome/Perfetto trace-event JSON — load the
+// file at ui.perfetto.dev (or chrome://tracing) to see SpMV iterations,
+// kernel runs, frontier conversions and reconfiguration flushes on a
+// timeline. Timestamps are *simulated cycles* (the exporter maps 1 cycle to
+// 1 us of trace time; at the 1 GHz PE clock the displayed "us" read as ns).
+//
+// A default-constructed Trace is a null sink: enabled() is false and every
+// producer guards its span construction behind it, so disabled tracing
+// costs one pointer/bool test per site and records nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cosparse::obs {
+
+class Trace {
+ public:
+  Trace() = default;                        ///< disabled null sink
+  explicit Trace(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Records a completed span [begin_cycles, end_cycles] on `track`.
+  /// Tracks map to Perfetto threads; producers keep spans on one track
+  /// sequential (non-overlapping), nesting goes on a separate track.
+  void add_span(std::string_view track, std::string_view name,
+                double begin_cycles, double end_cycles, Json args = Json());
+
+  /// Records a zero-duration instant event.
+  void add_instant(std::string_view track, std::string_view name,
+                   double at_cycles, Json args = Json());
+
+  /// Records one sample of a Perfetto counter track.
+  void add_counter(std::string_view track, std::string_view name,
+                   double at_cycles, double value);
+
+  [[nodiscard]] std::size_t num_events() const { return events_.size(); }
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}.
+  [[nodiscard]] Json to_json() const;
+
+  /// Writes to_json() to `path` (creating parent directories).
+  void write(const std::string& path) const;
+
+ private:
+  enum class Phase : std::uint8_t { kSpan, kInstant, kCounter };
+
+  struct Event {
+    Phase phase;
+    std::uint32_t track;  ///< index into tracks_
+    std::string name;
+    double ts;   ///< cycles
+    double dur;  ///< cycles (spans) / value (counters)
+    Json args;
+  };
+
+  std::uint32_t track_id(std::string_view track);
+
+  bool enabled_ = false;
+  std::vector<std::string> tracks_;  ///< tid = index + 1
+  std::vector<Event> events_;
+};
+
+/// Returns the trace output path requested via the COSPARSE_TRACE
+/// environment variable, or "" when unset/empty.
+[[nodiscard]] std::string trace_path_from_env();
+
+}  // namespace cosparse::obs

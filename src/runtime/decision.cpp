@@ -2,13 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "common/error.h"
 #include "kernels/op_spmv.h"
 
 namespace cosparse::runtime {
 
 const char* to_string(SwConfig c) {
   return c == SwConfig::kIP ? "IP" : "OP";
+}
+
+SwConfig sw_config_from_string(std::string_view s) {
+  if (s == "IP") return SwConfig::kIP;
+  if (s == "OP") return SwConfig::kOP;
+  throw Error("unknown SwConfig name: " + std::string(s));
 }
 
 double Thresholds::cvd(std::uint32_t pes_per_tile,
@@ -49,6 +57,12 @@ sim::HwConfig DecisionEngine::decide_hw(SwConfig sw, Index dimension,
   return fits ? sim::HwConfig::kPC : sim::HwConfig::kPS;
 }
 
+void DecisionEngine::publish(const Decision& d) const {
+  if (metrics_ == nullptr) return;
+  metrics_->counter(std::string("decision.sw.") + to_string(d.sw)).inc();
+  metrics_->counter(std::string("decision.hw.") + sim::to_string(d.hw)).inc();
+}
+
 Decision DecisionEngine::decide(Index dimension, double matrix_density,
                                 std::size_t frontier_nnz) const {
   Decision d;
@@ -59,6 +73,7 @@ Decision DecisionEngine::decide(Index dimension, double matrix_density,
   d.cvd = thresholds_.cvd(cfg_.pes_per_tile, matrix_density);
   d.sw = d.vector_density >= d.cvd ? SwConfig::kIP : SwConfig::kOP;
   d.hw = decide_hw(d.sw, dimension, frontier_nnz);
+  publish(d);
   return d;
 }
 

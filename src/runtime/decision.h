@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/config.h"
 
 namespace cosparse::runtime {
@@ -28,6 +30,8 @@ namespace cosparse::runtime {
 enum class SwConfig : std::uint8_t { kIP, kOP };
 
 [[nodiscard]] const char* to_string(SwConfig c);
+/// Inverse of to_string(); throws cosparse::Error on unknown names.
+[[nodiscard]] SwConfig sw_config_from_string(std::string_view s);
 
 struct Thresholds {
   // --- software (CVD) ---
@@ -74,9 +78,19 @@ class DecisionEngine {
 
   [[nodiscard]] const Thresholds& thresholds() const { return thresholds_; }
 
+  /// Attaches a metrics registry (not owned); each decision then bumps
+  /// `decision.sw.<SW>` / `decision.hw.<HW>` counters. Pass nullptr to
+  /// detach.
+  void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
+
  private:
+  /// Bumps the decision.sw/.hw counters for one resolved decision (no-op
+  /// without an attached registry).
+  void publish(const Decision& d) const;
+
   sim::SystemConfig cfg_;
   Thresholds thresholds_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace cosparse::runtime

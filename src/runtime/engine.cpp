@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include "common/error.h"
+
 namespace cosparse::runtime {
 namespace {
 
@@ -20,7 +22,11 @@ Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
     : opts_(opts),
       machine_(cfg, opts.fixed_hw.value_or(sim::HwConfig::kSC)),
       amap_(machine_),
-      decider_(cfg, opts.thresholds) {
+      decider_(cfg, opts.thresholds),
+      trace_(opts.trace),
+      metrics_(opts.metrics) {
+  machine_.set_trace(trace_);
+  decider_.set_metrics(metrics_);
   // f_next = SpMV(G^T, f): build the resident copies of G^T. SC streams a
   // plain nnz-balanced layout; SCS additionally needs vblocking so vector
   // segments fit the scratchpad (the SC/SCS trade-off of Fig. 5 hinges on
@@ -77,6 +83,79 @@ void Engine::charge_vector_pass(std::size_t elements, double ops_per_element,
   machine_.global_barrier();
 }
 
+Json to_json(const IterationRecord& rec) {
+  Json o = Json::object();
+  o["index"] = rec.index;
+  o["frontier_nnz"] = rec.frontier_nnz;
+  o["density"] = rec.density;
+  o["sw"] = to_string(rec.sw);
+  o["hw"] = sim::to_string(rec.hw);
+  o["sw_switched"] = rec.sw_switched;
+  o["hw_switched"] = rec.hw_switched;
+  o["converted_frontier"] = rec.converted_frontier;
+  o["cycles"] = rec.cycles;
+  o["convert_cycles"] = rec.convert_cycles;
+  o["energy_pj"] = rec.energy_pj;
+  return o;
+}
+
+IterationRecord iteration_record_from_json(const Json& j) {
+  COSPARSE_REQUIRE(j.is_object(), "iteration record must be a JSON object");
+  const auto need = [&](const char* key) -> const Json& {
+    const Json* v = j.find(key);
+    COSPARSE_REQUIRE(v != nullptr,
+                     std::string("iteration record missing field: ") + key);
+    return *v;
+  };
+  IterationRecord rec;
+  rec.index = static_cast<std::uint32_t>(need("index").as_int());
+  rec.frontier_nnz = static_cast<std::size_t>(need("frontier_nnz").as_int());
+  rec.density = need("density").as_double();
+  rec.sw = sw_config_from_string(need("sw").as_string());
+  rec.hw = sim::hw_config_from_string(need("hw").as_string());
+  rec.sw_switched = need("sw_switched").as_bool();
+  rec.hw_switched = need("hw_switched").as_bool();
+  rec.converted_frontier = need("converted_frontier").as_bool();
+  rec.cycles = static_cast<Cycles>(need("cycles").as_int());
+  rec.convert_cycles = static_cast<Cycles>(need("convert_cycles").as_int());
+  rec.energy_pj = need("energy_pj").as_double();
+  return rec;
+}
+
+void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
+                              Cycles kernel_begin, Cycles kernel_end) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("engine.iterations").inc();
+    if (rec.sw_switched) metrics_->counter("engine.sw_switches").inc();
+    if (rec.hw_switched) metrics_->counter("engine.hw_switches").inc();
+    if (rec.converted_frontier)
+      metrics_->counter("engine.frontier_conversions").inc();
+    metrics_->counter(std::string("engine.cycles.") + sim::to_string(rec.hw))
+        .inc(rec.cycles);
+    metrics_->histogram("engine.frontier_density").observe(rec.density);
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    Json args = Json::object();
+    args["iteration"] = rec.index;
+    args["sw"] = to_string(rec.sw);
+    args["hw"] = sim::to_string(rec.hw);
+    args["frontier_nnz"] = rec.frontier_nnz;
+    args["density"] = rec.density;
+    args["reconfigured"] = rec.hw_switched;
+    const double end = static_cast<double>(machine_.cycles());
+    trace_->add_span("engine",
+                     std::string("spmv ") + to_string(rec.sw) + "/" +
+                         sim::to_string(rec.hw),
+                     static_cast<double>(iter_begin), end, std::move(args));
+    trace_->add_span("kernels",
+                     rec.sw == SwConfig::kIP ? "IP kernel" : "OP kernel",
+                     static_cast<double>(kernel_begin),
+                     static_cast<double>(kernel_end));
+    trace_->add_counter("engine", "frontier_density",
+                        static_cast<double>(iter_begin), rec.density);
+  }
+}
+
 kernels::DenseFrontier Engine::convert_to_dense(
     const sparse::SparseVector& sv, Value identity, Cycles* cost) {
   const Cycles start = machine_.cycles();
@@ -98,6 +177,13 @@ kernels::DenseFrontier Engine::convert_to_dense(
   for (const auto& e : sv.entries()) df.set(e.index, e.value);
   machine_.global_barrier();
   if (cost != nullptr) *cost = machine_.cycles() - start;
+  if (trace_ != nullptr && trace_->enabled()) {
+    Json args = Json::object();
+    args["entries"] = sv.nnz();
+    trace_->add_span("kernels", "convert sparse->dense",
+                     static_cast<double>(start),
+                     static_cast<double>(machine_.cycles()), std::move(args));
+  }
   return df;
 }
 
@@ -132,6 +218,13 @@ sparse::SparseVector Engine::convert_to_sparse(
   }
   machine_.global_barrier();
   if (cost != nullptr) *cost = machine_.cycles() - start;
+  if (trace_ != nullptr && trace_->enabled()) {
+    Json args = Json::object();
+    args["entries"] = df.num_active;
+    trace_->add_span("kernels", "convert dense->sparse",
+                     static_cast<double>(start),
+                     static_cast<double>(machine_.cycles()), std::move(args));
+  }
   return df.to_sparse();
 }
 

@@ -18,7 +18,10 @@
 #include <optional>
 #include <vector>
 
+#include "common/json.h"
 #include "kernels/address_map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "kernels/frontier.h"
 #include "kernels/ip_spmv.h"
 #include "kernels/op_spmv.h"
@@ -45,6 +48,11 @@ struct EngineOptions {
   /// Vertical blocking for IP (vblocks sized to the tile SPM).
   bool vblocked = true;
   Thresholds thresholds;
+  /// Optional observability sinks (not owned; must outlive the engine).
+  /// With a null/disabled trace and no registry the hot path only pays a
+  /// pointer test per iteration.
+  obs::Trace* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One row of the Fig. 9-style iteration log.
@@ -61,6 +69,12 @@ struct IterationRecord {
   Cycles convert_cycles = 0;  ///< frontier format conversion share
   Picojoules energy_pj = 0;
 };
+
+/// Report/trace serialization of one iteration record. Field names are the
+/// run-report schema ("iterations" array, DESIGN.md §8).
+[[nodiscard]] Json to_json(const IterationRecord& rec);
+/// Inverse of to_json(); throws cosparse::Error on missing/invalid fields.
+[[nodiscard]] IterationRecord iteration_record_from_json(const Json& j);
 
 class Engine {
  public:
@@ -132,8 +146,13 @@ class Engine {
     return machine_.config();
   }
   [[nodiscard]] sim::Machine& machine() { return machine_; }
+  [[nodiscard]] const sim::Machine& machine() const { return machine_; }
   [[nodiscard]] const DecisionEngine& decisions() const { return decider_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  /// The metrics registry the engine publishes into (nullptr when none was
+  /// attached); graph algorithms use it for their own counters.
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] obs::Trace* trace() const { return trace_; }
 
   [[nodiscard]] const std::vector<IterationRecord>& iterations() const {
     return log_;
@@ -154,6 +173,12 @@ class Engine {
 
   Decision resolve_decision(std::size_t frontier_nnz) const;
 
+  /// Publishes the finished iteration into the attached trace/metrics
+  /// sinks (no-op without sinks). Lives in engine.cpp so the template
+  /// above stays lean.
+  void record_iteration(const IterationRecord& rec, Cycles iter_begin,
+                        Cycles kernel_begin, Cycles kernel_end);
+
   EngineOptions opts_;
   sim::Machine machine_;
   kernels::AddressMap amap_;
@@ -169,6 +194,8 @@ class Engine {
   std::vector<IterationRecord> log_;
   std::uint32_t next_iteration_ = 0;
   std::optional<SwConfig> last_sw_;
+  obs::Trace* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 // ---- template implementation ----
@@ -200,19 +227,24 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
 
   Output out;
   out.decision = d;
+  Cycles kernel_begin = 0;
+  Cycles kernel_end = 0;
   if (d.sw == SwConfig::kIP) {
     out.dense = true;
     Cycles conv = 0;
     const auto& layout = d.hw == sim::HwConfig::kSCS ? ip_matrix_scs_
                                                      : ip_matrix_sc_;
     if (f.dense) {
+      kernel_begin = machine_.cycles();
       out.ip = kernels::run_inner_product(machine_, amap_, layout, f.df, sr);
     } else {
       const kernels::DenseFrontier df =
           convert_to_dense(f.sv, sr.vector_identity(), &conv);
       rec.converted_frontier = true;
+      kernel_begin = machine_.cycles();
       out.ip = kernels::run_inner_product(machine_, amap_, layout, df, sr);
     }
+    kernel_end = machine_.cycles();
     rec.convert_cycles = conv;
   } else {
     out.dense = false;
@@ -220,12 +252,15 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
     if (f.dense) {
       const sparse::SparseVector sv = convert_to_sparse(f.df, &conv);
       rec.converted_frontier = true;
+      kernel_begin = machine_.cycles();
       out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
                                           dst_old, sr);
     } else {
+      kernel_begin = machine_.cycles();
       out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, f.sv,
                                           dst_old, sr);
     }
+    kernel_end = machine_.cycles();
     rec.convert_cycles = conv;
   }
 
@@ -233,6 +268,7 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
   rec.energy_pj = sim::EnergyModel{}.total(
       machine_.config(), machine_.stats() - start_stats, rec.cycles);
   log_.push_back(rec);
+  record_iteration(rec, start_cycles, kernel_begin, kernel_end);
   return out;
 }
 

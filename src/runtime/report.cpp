@@ -1,0 +1,50 @@
+#include "runtime/report.h"
+
+#include <utility>
+
+namespace cosparse::runtime {
+
+obs::Report make_run_report(const Engine& eng, std::string tool) {
+  obs::Report rep(std::move(tool));
+  const sim::Machine& m = eng.machine();
+
+  Json config = eng.system().to_json();
+  Json opts = Json::object();
+  opts["sw_reconfig"] = eng.options().sw_reconfig;
+  opts["hw_reconfig"] = eng.options().hw_reconfig;
+  opts["fixed_sw"] = to_string(eng.options().fixed_sw);
+  if (eng.options().fixed_hw.has_value()) {
+    opts["fixed_hw"] = sim::to_string(*eng.options().fixed_hw);
+  }
+  opts["nnz_balanced"] = eng.options().nnz_balanced;
+  opts["vblocked"] = eng.options().vblocked;
+  config["engine"] = std::move(opts);
+  rep.set("config", std::move(config));
+
+  Json iters = Json::array();
+  for (const IterationRecord& rec : eng.iterations()) {
+    iters.push_back(to_json(rec));
+  }
+  rep.set("iterations", std::move(iters));
+
+  rep.set("stats", m.stats().to_json());
+  Json tiles = Json::array();
+  for (const sim::Stats& ts : m.tile_stats()) tiles.push_back(ts.to_json());
+  rep.set("tile_stats", std::move(tiles));
+
+  Json derived = m.stats().derived_json();
+  derived["load_imbalance"] = m.load_imbalance();
+  rep.set("derived", std::move(derived));
+
+  Json totals = Json::object();
+  totals["cycles"] = m.cycles();
+  totals["energy_pj"] = m.energy_pj();
+  totals["watts"] = m.watts();
+  totals["iterations"] = eng.iterations().size();
+  rep.set("totals", std::move(totals));
+
+  if (eng.metrics() != nullptr) rep.set("metrics", eng.metrics()->to_json());
+  return rep;
+}
+
+}  // namespace cosparse::runtime

@@ -43,4 +43,22 @@ std::string SystemConfig::name() const {
   return std::to_string(num_tiles) + "x" + std::to_string(pes_per_tile);
 }
 
+Json SystemConfig::to_json() const {
+  Json o = Json::object();
+  o["system"] = name();
+  o["num_tiles"] = num_tiles;
+  o["pes_per_tile"] = pes_per_tile;
+  o["freq_ghz"] = freq_ghz;
+  o["bank_bytes"] = bank_bytes;
+  o["line_bytes"] = line_bytes;
+  o["associativity"] = associativity;
+  o["prefetch_depth"] = prefetch_depth;
+  o["l1_bytes_per_tile"] = l1_bytes_per_tile();
+  o["l2_bytes_total"] = l2_bytes_total();
+  o["dram_channels"] = dram_channels;
+  o["dram_peak_bytes_per_cycle"] = dram_peak_bytes_per_cycle();
+  o["reconfig_cycles"] = reconfig_cycles;
+  return o;
+}
+
 }  // namespace cosparse::sim

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/json.h"
 #include "common/types.h"
 
 namespace cosparse::sim {
@@ -126,6 +127,8 @@ struct SystemConfig {
     return dram_channels * dram_bytes_per_cycle_per_channel;
   }
   [[nodiscard]] std::string name() const;  ///< e.g. "16x16"
+  /// Topology + memory/bandwidth parameters for run reports.
+  [[nodiscard]] Json to_json() const;
 };
 
 }  // namespace cosparse::sim

@@ -5,8 +5,8 @@
 namespace cosparse::sim {
 
 double Dram::access(std::uint64_t bytes, bool write, double now,
-                    Stats& stats) {
-  traffic(bytes, write, stats);
+                    Stats& stats, Stats* tile_stats) {
+  traffic(bytes, write, stats, tile_stats);
   const double peak = cfg_->dram_peak_bytes_per_cycle();
   const double util =
       now <= 1.0 ? 0.0
@@ -16,12 +16,15 @@ double Dram::access(std::uint64_t bytes, bool write, double now,
          (cfg_->dram_latency_max - cfg_->dram_latency_min) * util;
 }
 
-void Dram::traffic(std::uint64_t bytes, bool write, Stats& stats) {
+void Dram::traffic(std::uint64_t bytes, bool write, Stats& stats,
+                   Stats* tile_stats) {
   total_bytes_ += bytes;
   if (write) {
     stats.dram_write_bytes += bytes;
+    if (tile_stats != nullptr) tile_stats->dram_write_bytes += bytes;
   } else {
     stats.dram_read_bytes += bytes;
+    if (tile_stats != nullptr) tile_stats->dram_read_bytes += bytes;
   }
 }
 

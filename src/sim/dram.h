@@ -28,11 +28,15 @@ class Dram {
   explicit Dram(const SystemConfig& cfg) : cfg_(&cfg) {}
 
   /// Demand access: records traffic and returns the latency (cycles) the
-  /// requester stalls. `now` is the requester's local clock.
-  double access(std::uint64_t bytes, bool write, double now, Stats& stats);
+  /// requester stalls. `now` is the requester's local clock. When
+  /// `tile_stats` is non-null the byte counters are mirrored into it
+  /// (per-tile attribution; see Machine::tile_stats()).
+  double access(std::uint64_t bytes, bool write, double now, Stats& stats,
+                Stats* tile_stats = nullptr);
 
   /// Traffic that does not stall a PE (prefetch fills, writebacks, DMA).
-  void traffic(std::uint64_t bytes, bool write, Stats& stats);
+  void traffic(std::uint64_t bytes, bool write, Stats& stats,
+               Stats* tile_stats = nullptr);
 
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
 

@@ -9,6 +9,7 @@ namespace cosparse::sim {
 Machine::Machine(const SystemConfig& cfg, HwConfig initial)
     : cfg_(cfg),
       hw_(initial),
+      tile_stats_(cfg.num_tiles),
       dram_(cfg_),
       pe_clock_(cfg.num_pes(), 0.0),
       lcp_clock_(cfg.num_tiles, 0.0) {
@@ -26,7 +27,7 @@ Addr Machine::alloc(std::size_t bytes, std::string_view /*label*/) {
 
 void Machine::compute(std::uint32_t pe, double cycles) {
   pe_clock_[pe] += cycles;
-  stats_.pe_compute_cycles += cycles;
+  bump(tile_of(pe), [&](Stats& s) { s.pe_compute_cycles += cycles; });
 }
 
 void Machine::rebuild_hierarchy() {
@@ -108,13 +109,13 @@ double Machine::access_l2(std::uint32_t pe, Addr addr, bool write,
   double latency =
       cfg_.xbar_latency + arb_penalty(sharers, l2->num_banks()) +
       cfg_.l2_bank_latency;
-  ++stats_.xbar_transfers;
+  bump(tile, [](Stats& s) { ++s.xbar_transfers; });
 
   const auto out = l2->access(requester, addr, write, /*low_priority=*/!demand);
   if (out.hit) {
-    ++stats_.l2_hits;
+    bump(tile, [](Stats& s) { ++s.l2_hits; });
   } else {
-    ++stats_.l2_misses;
+    bump(tile, [](Stats& s) { ++s.l2_misses; });
   }
   // Every fetched line (demand fill + prefetches) comes from DRAM.
   for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
@@ -122,15 +123,18 @@ double Machine::access_l2(std::uint32_t pe, Addr addr, bool write,
     if (is_demand_fill) {
       latency += cfg_.refill_overhead +
                  dram_.access(cfg_.line_bytes, /*write=*/false,
-                              pe_clock_[pe] + latency, stats_);
+                              pe_clock_[pe] + latency, stats_,
+                              &tile_stats_[tile]);
     } else {
-      dram_.traffic(cfg_.line_bytes, /*write=*/false, stats_);
-      ++stats_.prefetch_lines;
+      dram_.traffic(cfg_.line_bytes, /*write=*/false, stats_,
+                    &tile_stats_[tile]);
+      bump(tile, [](Stats& s) { ++s.prefetch_lines; });
     }
   }
   for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
-    dram_.traffic(cfg_.line_bytes, /*write=*/true, stats_);
-    ++stats_.writeback_lines;
+    dram_.traffic(cfg_.line_bytes, /*write=*/true, stats_,
+                  &tile_stats_[tile]);
+    bump(tile, [](Stats& s) { ++s.writeback_lines; });
   }
   return demand ? latency : 0.0;
 }
@@ -151,7 +155,7 @@ double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
     l1 = l1_tile_[tile].get();
     requester = pe % cfg_.pes_per_tile;
     l1_latency = 1.0 + arb_penalty(cfg_.pes_per_tile, l1->num_banks());
-    ++stats_.xbar_transfers;
+    bump(tile, [](Stats& s) { ++s.xbar_transfers; });
   } else if (!l1_pe_.empty()) {
     // Private L1 (PC): transparent crossbar, direct access.
     l1 = l1_pe_[pe].get();
@@ -165,19 +169,19 @@ double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
   double latency = l1_latency;
   const auto out = l1->access(requester, addr, write);
   if (out.hit) {
-    ++stats_.l1_hits;
+    bump(tile, [](Stats& s) { ++s.l1_hits; });
     // A tagged prefetch issued on this hit still moves lines (no stall).
     for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
       access_l2(pe, out.fetched_lines[i], /*write=*/false, /*demand=*/false);
-      ++stats_.prefetch_lines;
+      bump(tile, [](Stats& s) { ++s.prefetch_lines; });
     }
     for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
       access_l2(pe, out.writeback_lines[i], /*write=*/true, /*demand=*/false);
-      ++stats_.writeback_lines;
+      bump(tile, [](Stats& s) { ++s.writeback_lines; });
     }
     return latency;
   }
-  ++stats_.l1_misses;
+  bump(tile, [](Stats& s) { ++s.l1_misses; });
   for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
     const bool is_demand_fill = (i == 0);
     if (is_demand_fill) {
@@ -186,13 +190,13 @@ double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
                            /*demand=*/true);
     } else {
       access_l2(pe, out.fetched_lines[i], /*write=*/false, /*demand=*/false);
-      ++stats_.prefetch_lines;
+      bump(tile, [](Stats& s) { ++s.prefetch_lines; });
     }
   }
   // Dirty L1 victims drain into L2 (no PE stall).
   for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
     access_l2(pe, out.writeback_lines[i], /*write=*/true, /*demand=*/false);
-    ++stats_.writeback_lines;
+    bump(tile, [](Stats& s) { ++s.writeback_lines; });
   }
   return latency;
 }
@@ -201,7 +205,7 @@ void Machine::mem_read(std::uint32_t pe, Addr addr, std::uint32_t bytes) {
   (void)bytes;  // sub-line accesses cost one hierarchy round trip
   const double latency = route_access(pe, addr, /*write=*/false);
   pe_clock_[pe] += latency;
-  stats_.pe_mem_stall_cycles += latency;
+  bump(tile_of(pe), [&](Stats& s) { s.pe_mem_stall_cycles += latency; });
 }
 
 void Machine::mem_write(std::uint32_t pe, Addr addr, std::uint32_t bytes) {
@@ -212,7 +216,7 @@ void Machine::mem_write(std::uint32_t pe, Addr addr, std::uint32_t bytes) {
   // roofline rather than per-store latency.
   route_access(pe, addr, /*write=*/true);
   pe_clock_[pe] += 1.0;
-  stats_.pe_mem_stall_cycles += 1.0;
+  bump(tile_of(pe), [](Stats& s) { s.pe_mem_stall_cycles += 1.0; });
 }
 
 std::size_t Machine::spm_bytes_per_tile() const {
@@ -232,8 +236,10 @@ void Machine::spm_read(std::uint32_t pe, std::uint32_t /*bytes*/) {
     latency += arb_penalty(cfg_.pes_per_tile, cfg_.pes_per_tile);
   }
   pe_clock_[pe] += latency;
-  stats_.pe_mem_stall_cycles += latency;
-  ++stats_.spm_accesses;
+  bump(tile_of(pe), [&](Stats& s) {
+    s.pe_mem_stall_cycles += latency;
+    ++s.spm_accesses;
+  });
 }
 
 void Machine::spm_write(std::uint32_t pe, std::uint32_t bytes) {
@@ -267,23 +273,41 @@ void Machine::spm_fill_tile(std::uint32_t tile, Addr src, std::size_t bytes) {
     pe_clock_[base + p] += fill_cycles;
   }
   lcp_clock_[tile] += fill_cycles;
-  stats_.pe_mem_stall_cycles +=
-      fill_cycles * static_cast<double>(cfg_.pes_per_tile);
+  bump(tile, [&](Stats& s) {
+    s.pe_mem_stall_cycles +=
+        fill_cycles * static_cast<double>(cfg_.pes_per_tile);
+  });
+}
+
+void Machine::spread_traffic(std::uint64_t bytes, bool write) {
+  // Tile-less machine-wide streams: split the byte attribution evenly so
+  // per-tile slices still sum exactly to the global counters (the DRAM
+  // model sees the same total either way).
+  const std::uint64_t T = cfg_.num_tiles;
+  const std::uint64_t share = bytes / T;
+  const std::uint64_t remainder = bytes - share * T;
+  for (std::uint32_t t = 0; t < cfg_.num_tiles; ++t) {
+    const std::uint64_t mine = share + (t == 0 ? remainder : 0);
+    if (mine == 0) continue;
+    dram_.traffic(mine, write, stats_, &tile_stats_[t]);
+  }
 }
 
 void Machine::dma_traffic(std::size_t bytes, bool write) {
-  dram_.traffic(bytes, write, stats_);
+  spread_traffic(bytes, write);
 }
 
 void Machine::lcp_emit(std::uint32_t pe, std::uint32_t bytes) {
   const std::uint32_t tile = tile_of(pe);
   // The PE spends one cycle handing the element off.
   pe_clock_[pe] += 1.0;
-  stats_.pe_compute_cycles += 1.0;
+  bump(tile, [](Stats& s) {
+    s.pe_compute_cycles += 1.0;
+    ++s.lcp_elements;
+  });
   // The LCP serializes handling + writeback of the element.
   lcp_clock_[tile] += cfg_.lcp_cycles_per_element();
-  ++stats_.lcp_elements;
-  dram_.traffic(bytes, /*write=*/true, stats_);
+  dram_.traffic(bytes, /*write=*/true, stats_, &tile_stats_[tile]);
 }
 
 void Machine::tile_barrier(std::uint32_t tile) {
@@ -296,7 +320,7 @@ void Machine::tile_barrier(std::uint32_t tile) {
     pe_clock_[base + p] = mx;
   }
   lcp_clock_[tile] = mx;
-  ++stats_.barriers;
+  bump(tile, [](Stats& s) { ++s.barriers; });
 }
 
 void Machine::global_barrier() {
@@ -305,21 +329,48 @@ void Machine::global_barrier() {
   for (double c : lcp_clock_) mx = std::max(mx, c);
   std::fill(pe_clock_.begin(), pe_clock_.end(), mx);
   std::fill(lcp_clock_.begin(), lcp_clock_.end(), mx);
-  ++stats_.barriers;
+  // Whole-machine control events are attributed to tile 0 (see tile_stats()).
+  bump(0, [](Stats& s) { ++s.barriers; });
 }
 
 void Machine::reconfigure(HwConfig next) {
+  const double span_begin = static_cast<double>(cycles());
+  const HwConfig from = hw_;
   global_barrier();
   // Write back all dirty lines; banks drain in parallel, bounded by DRAM
-  // bandwidth.
+  // bandwidth. Dirty lines are attributed to the tile owning the flushed
+  // structure; the shared L2's flush is split evenly (remainder to 0).
   std::uint64_t dirty = 0;
-  for (auto& c : l1_tile_) dirty += c->flush();
-  for (auto& c : l1_pe_) dirty += c->flush();
-  if (l2_global_) dirty += l2_global_->flush();
-  for (auto& c : l2_tile_) dirty += c->flush();
-  stats_.flushed_dirty_lines += dirty;
+  for (std::uint32_t t = 0; t < static_cast<std::uint32_t>(l1_tile_.size());
+       ++t) {
+    const std::uint64_t d = l1_tile_[t]->flush();
+    dirty += d;
+    bump(t, [&](Stats& s) { s.flushed_dirty_lines += d; });
+  }
+  for (std::uint32_t pe = 0; pe < static_cast<std::uint32_t>(l1_pe_.size());
+       ++pe) {
+    const std::uint64_t d = l1_pe_[pe]->flush();
+    dirty += d;
+    bump(tile_of(pe), [&](Stats& s) { s.flushed_dirty_lines += d; });
+  }
+  if (l2_global_) {
+    const std::uint64_t d = l2_global_->flush();
+    dirty += d;
+    stats_.flushed_dirty_lines += d;
+    const std::uint64_t share = d / cfg_.num_tiles;
+    const std::uint64_t remainder = d - share * cfg_.num_tiles;
+    for (std::uint32_t t = 0; t < cfg_.num_tiles; ++t) {
+      tile_stats_[t].flushed_dirty_lines += share + (t == 0 ? remainder : 0);
+    }
+  }
+  for (std::uint32_t t = 0; t < static_cast<std::uint32_t>(l2_tile_.size());
+       ++t) {
+    const std::uint64_t d = l2_tile_[t]->flush();
+    dirty += d;
+    bump(t, [&](Stats& s) { s.flushed_dirty_lines += d; });
+  }
   const std::uint64_t flush_bytes = dirty * cfg_.line_bytes;
-  dram_.traffic(flush_bytes, /*write=*/true, stats_);
+  spread_traffic(flush_bytes, /*write=*/true);
   const double flush_cycles =
       dirty == 0 ? 0.0
                  : cfg_.dram_latency_min +
@@ -330,7 +381,17 @@ void Machine::reconfigure(HwConfig next) {
   for (double& c : lcp_clock_) c += penalty;
   hw_ = next;
   rebuild_hierarchy();
-  ++stats_.reconfigurations;
+  bump(0, [](Stats& s) { ++s.reconfigurations; });
+  if (trace_ != nullptr && trace_->enabled()) {
+    Json args = Json::object();
+    args["from"] = to_string(from);
+    args["to"] = to_string(next);
+    args["flushed_dirty_lines"] = dirty;
+    trace_->add_span("machine", std::string("reconfigure ") + to_string(from) +
+                                    "->" + to_string(next),
+                     span_begin, static_cast<double>(cycles()),
+                     std::move(args));
+  }
 }
 
 Cycles Machine::cycles() const {
@@ -339,6 +400,19 @@ Cycles Machine::cycles() const {
   for (double c : lcp_clock_) mx = std::max(mx, c);
   mx = std::max(mx, dram_.bandwidth_floor_cycles());
   return static_cast<Cycles>(mx);
+}
+
+double Machine::load_imbalance() const {
+  double total = 0.0;
+  double mx = 0.0;
+  for (const Stats& t : tile_stats_) {
+    const double busy = t.pe_compute_cycles + t.pe_mem_stall_cycles;
+    total += busy;
+    mx = std::max(mx, busy);
+  }
+  if (total <= 0.0) return 0.0;
+  const double mean = total / static_cast<double>(tile_stats_.size());
+  return mx / mean;
 }
 
 Picojoules Machine::energy_pj() const {

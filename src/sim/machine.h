@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/cache.h"
 #include "sim/config.h"
 #include "sim/dram.h"
@@ -105,11 +106,31 @@ class Machine {
   /// cycle mode switch, then the hierarchy is rebuilt cold in `next` mode.
   void reconfigure(HwConfig next);
 
+  // ---- observability ----
+  /// Attaches a trace sink; reconfigure() then records flush spans on the
+  /// "machine" track. Pass nullptr (the default state) to detach — the
+  /// only cost of detached tracing is one pointer test per event site.
+  void set_trace(obs::Trace* trace) { trace_ = trace; }
+
   // ---- results ----
   /// Elapsed cycles: max over PE/LCP clocks, floored by the DRAM bandwidth
   /// roofline (total bytes moved / peak bandwidth).
   [[nodiscard]] Cycles cycles() const;
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Per-tile breakdown of stats(). Every counter increment is attributed
+  /// to exactly one tile, so the element-wise sum over tiles equals the
+  /// global Stats (bit-exact for integer counters; cycle doubles agree up
+  /// to summation order). Attribution rules: PE-side events go to the
+  /// issuing PE's tile; tile-less DMA and shared-L2 flush traffic is split
+  /// evenly across tiles (remainder to tile 0); whole-machine control
+  /// events (global barriers, reconfigurations) land on tile 0.
+  [[nodiscard]] const std::vector<Stats>& tile_stats() const {
+    return tile_stats_;
+  }
+  /// Load-imbalance metric over tiles (paper Fig. 7): max per-tile busy
+  /// cycles (compute + mem stall) divided by the mean. 1.0 = perfectly
+  /// balanced; 0.0 when nothing ran yet.
+  [[nodiscard]] double load_imbalance() const;
   /// Simulated total energy / average power under the default EnergyModel.
   [[nodiscard]] Picojoules energy_pj() const;
   [[nodiscard]] double watts() const;
@@ -127,11 +148,23 @@ class Machine {
   /// L2-level access (demand or traffic-only); returns demand latency.
   double access_l2(std::uint32_t pe, Addr addr, bool write, bool demand);
 
+  /// Applies one mutation to the global stats and the owning tile's slice,
+  /// keeping the two views additive by construction.
+  template <class Fn>
+  void bump(std::uint32_t tile, Fn&& fn) {
+    fn(stats_);
+    fn(tile_stats_[tile]);
+  }
+  /// Tile-less DRAM traffic split evenly across tiles (remainder to 0).
+  void spread_traffic(std::uint64_t bytes, bool write);
+
   SystemConfig cfg_;
   HwConfig hw_;
   Stats stats_;
+  std::vector<Stats> tile_stats_;  ///< per tile; sums to stats_
   Dram dram_;
   EnergyModel energy_;
+  obs::Trace* trace_ = nullptr;
 
   std::vector<double> pe_clock_;   ///< per global PE id
   std::vector<double> lcp_clock_;  ///< per tile

@@ -2,12 +2,21 @@
 //
 // The energy model (sim/energy.h) converts these counts to picojoules; the
 // benchmark harness prints selected counters (hit rates, DRAM traffic) to
-// explain the shapes of the reproduced figures.
+// explain the shapes of the reproduced figures, and the observability layer
+// (src/obs) exports them into traces and machine-readable run reports.
+//
+// Counter *names* have a single source of truth: the field list in
+// stats.cpp. print(), to_json() and for_each_counter() all derive from it,
+// so a counter appears under the same name in text tables, JSON reports and
+// trace args.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <string_view>
 
+#include "common/json.h"
 #include "common/types.h"
 
 namespace cosparse::sim {
@@ -54,6 +63,19 @@ struct Stats {
   [[nodiscard]] std::uint64_t dram_bytes() const {
     return dram_read_bytes + dram_write_bytes;
   }
+
+  /// Visits every raw counter as (name, value-as-double) in the canonical
+  /// order. The names are the ones print()/to_json() emit.
+  void for_each_counter(
+      const std::function<void(std::string_view, double)>& fn) const;
+
+  /// Raw counters only (no derived rates), as an ordered JSON object.
+  /// Integer counters stay exact. Key names match for_each_counter().
+  [[nodiscard]] Json to_json() const;
+
+  /// Derived rates/aggregates (l1_hit_rate, l2_hit_rate, dram_bytes) — kept
+  /// out of to_json() so per-tile stats sum exactly to the global object.
+  [[nodiscard]] Json derived_json() const;
 
   Stats& operator+=(const Stats& o);
   friend Stats operator-(Stats a, const Stats& b);

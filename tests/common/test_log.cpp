@@ -1,0 +1,100 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace cosparse::log {
+namespace {
+
+/// Redirects the log sink to a local stream and restores stderr plus the
+/// previous threshold on scope exit, so tests cannot leak logger state.
+class SinkCapture {
+ public:
+  SinkCapture() : saved_threshold_(threshold()) { set_sink(&out_); }
+  ~SinkCapture() {
+    set_sink(nullptr);
+    set_threshold(saved_threshold_);
+  }
+  [[nodiscard]] std::string text() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+  Level saved_threshold_;
+};
+
+TEST(Log, WriteFormatsTaggedLine) {
+  SinkCapture cap;
+  write(Level::kInfo, "hello");
+  EXPECT_EQ(cap.text(), "[cosparse INFO ] hello\n");
+}
+
+TEST(Log, ThresholdFiltersBelow) {
+  SinkCapture cap;
+  set_threshold(Level::kWarn);
+  debug("dropped");
+  info("dropped too");
+  warn("kept");
+  error("kept", kv("code", 7));
+  const std::string text = cap.text();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("[cosparse WARN ] kept"), std::string::npos);
+  EXPECT_NE(text.find("[cosparse ERROR] kept code=7"), std::string::npos);
+}
+
+TEST(Log, KvRendersStructuredFields) {
+  std::ostringstream os;
+  os << kv("from", "SC") << kv("cycles", 42);
+  EXPECT_EQ(os.str(), " from=SC cycles=42");
+}
+
+TEST(Log, KvQuotesAmbiguousValues) {
+  std::ostringstream os;
+  os << kv("msg", "two words") << kv("expr", "a=b") << kv("empty", "")
+     << kv("esc", "say \"hi\"");
+  EXPECT_EQ(os.str(),
+            " msg=\"two words\" expr=\"a=b\" empty=\"\""
+            " esc=\"say \\\"hi\\\"\"");
+}
+
+TEST(Log, ParseLevelAcceptsKnownNamesCaseInsensitive) {
+  EXPECT_EQ(parse_level("debug"), Level::kDebug);
+  EXPECT_EQ(parse_level("INFO"), Level::kInfo);
+  EXPECT_EQ(parse_level("Warn"), Level::kWarn);
+  EXPECT_EQ(parse_level("warning"), Level::kWarn);
+  EXPECT_EQ(parse_level("error"), Level::kError);
+  EXPECT_EQ(parse_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_level(""), std::nullopt);
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveWithinALine) {
+  SinkCapture cap;
+  set_threshold(Level::kDebug);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        info("worker", kv("t", t), kv("i", i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::istringstream in(cap.text());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ++count;
+    // Every line is exactly one complete message.
+    EXPECT_EQ(line.rfind("[cosparse INFO ] worker t=", 0), 0u) << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
+
+}  // namespace
+}  // namespace cosparse::log

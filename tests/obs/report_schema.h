@@ -1,0 +1,92 @@
+// Validation helper for cosparse.run_report/v1 documents.
+//
+// Shared by the unit tests and the check_report CLI (the CTest smoke test
+// pipes a real quickstart report through it). Returns "" when the document
+// conforms, otherwise a human-readable description of the first violation.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "common/json.h"
+#include "obs/report.h"
+
+namespace cosparse::obs::testing {
+
+inline std::string check_report(const Json& doc) {
+  if (!doc.is_object()) return "report is not a JSON object";
+
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing string field: schema";
+  }
+  if (schema->as_string() != kReportSchema) {
+    return "unexpected schema: " + schema->as_string();
+  }
+  const Json* tool = doc.find("tool");
+  if (tool == nullptr || !tool->is_string() || tool->as_string().empty()) {
+    return "missing/empty string field: tool";
+  }
+
+  // Optional sections, validated when present.
+  if (const Json* stats = doc.find("stats"); stats != nullptr) {
+    if (!stats->is_object()) return "stats is not an object";
+    const Json* tiles = doc.find("tile_stats");
+    if (tiles != nullptr) {
+      if (!tiles->is_array()) return "tile_stats is not an array";
+      // The element-wise sum over tiles must reproduce the global stats:
+      // exactly for integer counters, to rounding for cycle doubles.
+      for (const auto& [name, global] : stats->members()) {
+        if (global.type() == Json::Type::kInt) {
+          std::int64_t sum = 0;
+          for (const Json& tile : tiles->items()) {
+            const Json* v = tile.find(name);
+            if (v == nullptr) return "tile_stats missing counter: " + name;
+            sum += v->as_int();
+          }
+          if (sum != global.as_int()) {
+            return "tile_stats do not sum to stats for counter: " + name;
+          }
+        } else {
+          double sum = 0.0;
+          for (const Json& tile : tiles->items()) {
+            const Json* v = tile.find(name);
+            if (v == nullptr) return "tile_stats missing counter: " + name;
+            sum += v->as_double();
+          }
+          const double g = global.as_double();
+          const double tol = 1e-6 * std::max(1.0, std::abs(g));
+          if (std::abs(sum - g) > tol) {
+            return "tile_stats do not sum to stats for counter: " + name;
+          }
+        }
+      }
+    }
+  }
+
+  if (const Json* iters = doc.find("iterations"); iters != nullptr) {
+    if (!iters->is_array()) return "iterations is not an array";
+    for (const Json& it : iters->items()) {
+      for (const char* key :
+           {"index", "frontier_nnz", "density", "sw", "hw", "cycles"}) {
+        if (it.find(key) == nullptr) {
+          return std::string("iteration record missing field: ") + key;
+        }
+      }
+      const std::string& sw = it.find("sw")->as_string();
+      if (sw != "IP" && sw != "OP") return "bad iteration sw: " + sw;
+    }
+  }
+
+  if (const Json* totals = doc.find("totals"); totals != nullptr) {
+    if (!totals->is_object()) return "totals is not an object";
+    const Json* cycles = totals->find("cycles");
+    if (cycles == nullptr || !cycles->is_number()) {
+      return "totals missing number field: cycles";
+    }
+  }
+
+  return "";
+}
+
+}  // namespace cosparse::obs::testing

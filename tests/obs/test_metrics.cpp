@@ -1,0 +1,93 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cosparse::obs {
+namespace {
+
+TEST(Metrics, CounterIncrements) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("engine.iterations");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Lookup-or-create returns the same instance.
+  EXPECT_EQ(&reg.counter("engine.iterations"), &c);
+  EXPECT_EQ(reg.counter("engine.iterations").value(), 5u);
+}
+
+TEST(Metrics, HandlesStayStableAcrossInsertions) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("a");
+  // Force rebalancing of the underlying container with many inserts.
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  first.inc();
+  EXPECT_EQ(reg.counter("a").value(), 1u);
+}
+
+TEST(Metrics, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  reg.gauge("load").set(0.5);
+  reg.gauge("load").set(0.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("load").value(), 0.25);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1.0 -> bucket 0
+  h.observe(1.0);   // inclusive -> bucket 0
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);  // overflow bucket
+}
+
+TEST(Metrics, HistogramBoundsApplyOnFirstCreationOnly) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("d", {0.5});
+  EXPECT_EQ(&reg.histogram("d", {0.1, 0.2, 0.3}), &h);
+  EXPECT_EQ(h.bounds().size(), 1u);
+}
+
+TEST(Metrics, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  reg.counter("yes").inc();
+  ASSERT_NE(reg.find_counter("yes"), nullptr);
+  EXPECT_EQ(reg.find_counter("yes")->value(), 1u);
+}
+
+TEST(Metrics, ToJsonOmitsEmptySectionsAndKeepsExactCounts) {
+  MetricsRegistry reg;
+  reg.counter("runs").inc(3);
+  const Json j = reg.to_json();
+  ASSERT_NE(j.find("counters"), nullptr);
+  EXPECT_EQ(j.find("counters")->find("runs")->as_int(), 3);
+  EXPECT_EQ(j.find("gauges"), nullptr);
+  EXPECT_EQ(j.find("histograms"), nullptr);
+}
+
+TEST(Metrics, HistogramToJsonStructure) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("density", {0.1, 0.5});
+  h.observe(0.05);
+  h.observe(0.3);
+  h.observe(0.9);
+  const Json j = reg.to_json();
+  const Json* hist = j.find("histograms")->find("density");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_int(), 3);
+  EXPECT_EQ(hist->find("bounds")->size(), 2u);
+  EXPECT_EQ(hist->find("bucket_counts")->size(), 3u);
+}
+
+}  // namespace
+}  // namespace cosparse::obs

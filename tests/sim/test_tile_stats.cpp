@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernels/semiring.h"
+#include "runtime/engine.h"
+#include "sim/machine.h"
+#include "sparse/generate.h"
+
+namespace cosparse::sim {
+namespace {
+
+/// Asserts that the element-wise sum of tile_stats() reproduces stats():
+/// bit-exact for the integer counters, up to summation order for the cycle
+/// doubles.
+void expect_tiles_sum_to_global(const Machine& m) {
+  ASSERT_EQ(m.tile_stats().size(),
+            static_cast<std::size_t>(m.num_tiles()));
+  Stats sum;
+  for (const Stats& t : m.tile_stats()) sum += t;
+
+  std::vector<std::pair<std::string, double>> global_counters;
+  m.stats().for_each_counter([&](std::string_view name, double v) {
+    global_counters.emplace_back(std::string(name), v);
+  });
+  std::size_t i = 0;
+  sum.for_each_counter([&](std::string_view name, double v) {
+    ASSERT_LT(i, global_counters.size());
+    EXPECT_EQ(global_counters[i].first, name);
+    const double g = global_counters[i].second;
+    // pe_*_cycles are doubles accumulated per tile; everything else is an
+    // integer counter and must match exactly.
+    if (name == "pe_compute_cycles" || name == "pe_mem_stall_cycles") {
+      EXPECT_NEAR(v, g, 1e-9 * std::max(1.0, std::abs(g))) << name;
+    } else {
+      EXPECT_EQ(v, g) << name;
+    }
+    ++i;
+  });
+  EXPECT_EQ(i, global_counters.size());
+
+  // The integer view must also agree field-by-field (not just as doubles).
+  EXPECT_EQ(sum.l1_hits, m.stats().l1_hits);
+  EXPECT_EQ(sum.l2_misses, m.stats().l2_misses);
+  EXPECT_EQ(sum.dram_read_bytes, m.stats().dram_read_bytes);
+  EXPECT_EQ(sum.dram_write_bytes, m.stats().dram_write_bytes);
+  EXPECT_EQ(sum.barriers, m.stats().barriers);
+  EXPECT_EQ(sum.reconfigurations, m.stats().reconfigurations);
+  EXPECT_EQ(sum.flushed_dirty_lines, m.stats().flushed_dirty_lines);
+}
+
+TEST(TileStats, FreshMachineIsAllZero) {
+  const Machine m(SystemConfig::transmuter(2, 4), HwConfig::kSC);
+  expect_tiles_sum_to_global(m);
+  EXPECT_DOUBLE_EQ(m.load_imbalance(), 0.0);
+}
+
+TEST(TileStats, SumToGlobalUnderSharedCacheTraffic) {
+  Machine m(SystemConfig::transmuter(2, 4), HwConfig::kSC);
+  const Addr base = m.alloc(1 << 20, "buf");
+  for (std::uint32_t pe = 0; pe < m.num_pes(); ++pe) {
+    for (std::uint32_t k = 0; k < 64; ++k) {
+      // Skewed access pattern: each PE reads its own stride plus a shared
+      // prefix, so tiles see different hit rates.
+      m.mem_read(pe, base + (pe * 64 + k) * 64, 8);
+      m.mem_read(pe, base + k * 8, 8);
+      m.compute(pe, 2.0 + pe);
+    }
+    m.mem_write(pe, base + pe * 512, 8);
+  }
+  m.dma_traffic(12345, /*write=*/false);  // odd size: uneven split paths
+  m.dma_traffic(777, /*write=*/true);
+  m.global_barrier();
+  expect_tiles_sum_to_global(m);
+  EXPECT_GE(m.load_imbalance(), 1.0);
+}
+
+TEST(TileStats, SumToGlobalAcrossReconfigurationIntoPrivateSpm) {
+  Machine m(SystemConfig::transmuter(2, 4), HwConfig::kSC);
+  const Addr base = m.alloc(1 << 18, "buf");
+  for (std::uint32_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.mem_write(pe, base + pe * 256, 8);  // dirty lines to flush
+  }
+  m.reconfigure(HwConfig::kPS);
+  ASSERT_EQ(m.hw(), HwConfig::kPS);
+  for (std::uint32_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.spm_write(pe, 8);
+    m.spm_read(pe, 8);
+    m.mem_read(pe, base + pe * 128, 8);
+    m.compute(pe, 3.0);
+  }
+  m.global_barrier();
+  expect_tiles_sum_to_global(m);
+  EXPECT_GT(m.stats().reconfigurations, 0u);
+  EXPECT_GT(m.stats().flushed_dirty_lines, 0u);
+  EXPECT_GT(m.stats().spm_accesses, 0u);
+}
+
+/// End-to-end: a reconfiguring engine run (the quickstart shape) keeps the
+/// invariant through kernels, conversions, DMA and reconfigure flushes.
+TEST(TileStats, SumToGlobalAfterEngineRun) {
+  const auto a = sparse::uniform_random(2000, 2000, 30000, 7,
+                                        sparse::ValueDist::kUniform01);
+  runtime::Engine eng(a, SystemConfig::transmuter(2, 8));
+  auto f = runtime::Engine::Frontier::from_sparse(
+      sparse::random_sparse_vector(2000, 0.002, 3));
+  for (int i = 0; i < 4; ++i) {
+    const auto out = eng.spmv(f, kernels::PlainSpmv{});
+    kernels::DenseFrontier next(eng.dimension(), 0.0);
+    out.for_each_touched([&](Index r, Value v) { next.set(r, v); });
+    f = runtime::Engine::Frontier::from_dense(std::move(next));
+  }
+  expect_tiles_sum_to_global(eng.machine());
+  EXPECT_GE(eng.machine().load_imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace cosparse::sim
