@@ -4,10 +4,13 @@
 #include <iostream>
 #include <sstream>
 
+#include <memory>
+
 #include "common/error.h"
 #include "kernels/address_map.h"
 #include "kernels/partition.h"
 #include "kernels/semiring.h"
+#include "sim/profile.h"
 #include "sparse/generate.h"
 
 namespace cosparse::bench {
@@ -22,6 +25,7 @@ KernelRun time_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
                   const sim::SystemConfig& cfg, sim::HwConfig hw,
                   bool nnz_balanced, bool vblocked) {
   sim::Machine machine(cfg, hw);
+  machine.set_profiler(profiler());
   kernels::AddressMap amap(machine);
   const auto part = kernels::IpPartitionedMatrix::build(
       m, cfg.num_pes(), vblocked ? vblock_cols_for(cfg) : 0, nnz_balanced);
@@ -38,6 +42,7 @@ KernelRun time_op(const sparse::Coo& m, const sparse::SparseVector& x,
                   const sim::SystemConfig& cfg, sim::HwConfig hw,
                   bool nnz_balanced) {
   sim::Machine machine(cfg, hw);
+  machine.set_profiler(profiler());
   kernels::AddressMap amap(machine);
   const auto striped =
       kernels::OpStripedMatrix::build(m, cfg.num_tiles, nnz_balanced);
@@ -106,6 +111,7 @@ struct ObsState {
   obs::Trace trace;  ///< disabled until a trace output is requested
   obs::MetricsRegistry metrics;
   obs::Report report{"bench"};
+  std::unique_ptr<sim::MemProfiler> profiler;  ///< armed by --profile
 };
 
 ObsState& obs_state() {
@@ -151,6 +157,9 @@ void add_observability_options(CliParser& cli) {
                  "write Perfetto trace-event JSON to this path "
                  "(COSPARSE_TRACE env var is the fallback)",
                  "");
+  cli.add_flag("profile",
+               "attach the region-attributed memory profiler (adds the "
+               "memory_profile report section; see cosparse-prof)");
 }
 
 void init_observability(const CliParser& cli) {
@@ -160,11 +169,18 @@ void init_observability(const CliParser& cli) {
   st.trace_path = cli.str("trace-out");
   if (st.trace_path.empty()) st.trace_path = obs::trace_path_from_env();
   if (!st.trace_path.empty()) st.trace = obs::Trace(true);
+  if (cli.has("profile") && cli.flag("profile")) {
+    st.profiler = std::make_unique<sim::MemProfiler>();
+  }
+  // Runs are only reproducible with their seed; keep it in the report.
+  if (cli.has("seed")) st.report.set("seed", cli.integer("seed"));
 }
 
 obs::Trace* trace() { return &obs_state().trace; }
 
 obs::MetricsRegistry& metrics() { return obs_state().metrics; }
+
+sim::MemProfiler* profiler() { return obs_state().profiler.get(); }
 
 runtime::EngineOptions engine_options() {
   runtime::EngineOptions o;
@@ -189,6 +205,9 @@ Json to_json(const KernelRun& run) {
 void finish_run() {
   ObsState& st = obs_state();
   if (!st.report_path.empty()) {
+    if (st.profiler != nullptr) {
+      st.report.set("memory_profile", st.profiler->to_json());
+    }
     st.report.set("metrics", st.metrics.to_json());
     st.report.write(st.report_path);
   }

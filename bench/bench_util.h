@@ -91,6 +91,14 @@ void init_observability(const CliParser& cli);
 /// The process-wide metrics registry. Pass into EngineOptions::metrics.
 [[nodiscard]] obs::MetricsRegistry& metrics();
 
+/// The process-wide memory profiler, or nullptr unless --profile was
+/// given. time_ip/time_op attach it automatically; harnesses driving a
+/// runtime::Engine attach it with engine.machine().set_profiler(...)
+/// (a nullptr is accepted and detaches). finish_run() folds the
+/// accumulated per-region profile into the report's "memory_profile"
+/// section.
+[[nodiscard]] sim::MemProfiler* profiler();
+
 /// Default EngineOptions with the process-wide trace/metrics sinks already
 /// attached; harnesses adjust the remaining fields as usual.
 [[nodiscard]] runtime::EngineOptions engine_options();

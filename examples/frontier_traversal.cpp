@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
+#include "sim/profile.h"
 #include "sparse/datasets.h"
 
 using namespace cosparse;
@@ -44,6 +45,11 @@ int main(int argc, char** argv) {
   cli.add_option("graph", "dataset name (Table III)", "pokec");
   cli.add_option("scale", "dataset scale divisor", "32");
   cli.add_option("source", "source vertex", "0");
+  cli.add_option("seed", "stand-in generator seed offset (0 = canonical)",
+                 "0");
+  cli.add_flag("profile",
+               "attach the region-attributed memory profiler (adds the "
+               "memory_profile report section; see cosparse-prof)");
   cli.add_option("report-out", "write a JSON run report to this path", "");
   cli.add_option("trace-out",
                  "write Perfetto trace-event JSON to this path "
@@ -52,10 +58,15 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
   const auto graph = registry.load(
-      cli.str("graph"), static_cast<unsigned>(cli.integer("scale")));
+      cli.str("graph"), static_cast<unsigned>(cli.integer("scale")), seed);
   const auto source = static_cast<Index>(cli.integer("source"));
   const auto system = sim::SystemConfig::transmuter(16, 16);
+  // One profiler spans all three traversal engines: region counters are
+  // keyed by label, so BFS, CC and SSSP accumulate into one breakdown.
+  sim::MemProfiler profiler;
+  const bool profile = cli.flag("profile");
 
   // Shared observability sinks: all three traversal engines publish into
   // the same trace/metrics, so algo.bfs.*, algo.cc.* and algo.sssp.* land
@@ -74,6 +85,7 @@ int main(int argc, char** argv) {
 
   {
     runtime::Engine engine(graph.adjacency(), system, obs_opts);
+    if (profile) engine.machine().set_profiler(&profiler);
     const auto bfs = graph::bfs(engine, source);
     std::size_t reached = 0;
     std::int64_t max_level = 0;
@@ -96,6 +108,7 @@ int main(int argc, char** argv) {
     // connected components of the directed stand-in).
     runtime::Engine engine(sparse::symmetrize(graph.adjacency()), system,
                            obs_opts);
+    if (profile) engine.machine().set_profiler(&profiler);
     const auto cc = graph::connected_components(engine);
     std::cout << "Connected components: " << cc.num_components
               << " components in " << cc.stats.iterations
@@ -105,6 +118,7 @@ int main(int argc, char** argv) {
 
   {
     runtime::Engine engine(graph.adjacency(), system, obs_opts);
+    if (profile) engine.machine().set_profiler(&profiler);
     const auto sssp = graph::sssp(engine, source);
     double max_dist = 0;
     std::size_t reached = 0;
@@ -130,6 +144,7 @@ int main(int argc, char** argv) {
       dataset["graph"] = graph.name();
       dataset["vertices"] = graph.num_vertices();
       dataset["edges"] = graph.num_edges();
+      dataset["seed"] = seed;
       report.set("dataset", std::move(dataset));
       report.write(path);
       std::cout << "wrote run report to " << path << "\n";

@@ -7,8 +7,8 @@
 // --report-out / --trace-out the same run emits a machine-readable JSON
 // run report and a Perfetto-loadable trace.
 //
-//   ./quickstart [--vertices N] [--edges M] [--report-out run.json]
-//                [--trace-out trace.json]
+//   ./quickstart [--vertices N] [--edges M] [--seed S] [--profile]
+//                [--report-out run.json] [--trace-out trace.json]
 #include <iostream>
 
 #include "common/cli.h"
@@ -18,6 +18,7 @@
 #include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
+#include "sim/profile.h"
 #include "sparse/generate.h"
 
 using namespace cosparse;
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
   CliParser cli("quickstart", "CoSPARSE API quickstart");
   cli.add_option("vertices", "number of vertices", "20000");
   cli.add_option("edges", "number of edges", "200000");
+  cli.add_option("seed", "RNG seed for the graph and frontiers", "42");
+  cli.add_flag("profile",
+               "attach the region-attributed memory profiler (adds the "
+               "memory_profile report section; see cosparse-prof)");
   cli.add_option("report-out", "write a JSON run report to this path", "");
   cli.add_option("trace-out",
                  "write Perfetto trace-event JSON to this path "
@@ -34,13 +39,14 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
   const auto n = static_cast<Index>(cli.integer("vertices"));
   const auto m = static_cast<std::uint64_t>(cli.integer("edges"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
   std::string trace_path = cli.str("trace-out");
   if (trace_path.empty()) trace_path = obs::trace_path_from_env();
 
   // 1. An input graph (any sparse::Coo adjacency works; see sparse/io.h
   //    for Matrix Market / SNAP edge-list loaders).
   const sparse::Coo adjacency =
-      sparse::uniform_random(n, n, m, /*seed=*/42,
+      sparse::uniform_random(n, n, m, seed,
                              sparse::ValueDist::kUniform01);
 
   // 2. A simulated Transmuter-class system (Table II defaults) and the
@@ -55,16 +61,22 @@ int main(int argc, char** argv) {
   opts.metrics = &metrics;
   runtime::Engine engine(adjacency, system, opts);
 
+  // With --profile, every memory-hierarchy event is attributed to the
+  // allocation region it touched; the breakdown lands in the report's
+  // memory_profile section (inspect with cosparse-prof summarize/diff).
+  sim::MemProfiler profiler;
+  if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
+
   // 3. SpMV with a *sparse* frontier (0.1% of vertices active): the
   //    decision tree picks the outer-product dataflow.
-  const auto sparse_x = sparse::random_sparse_vector(n, 0.001, 7);
+  const auto sparse_x = sparse::random_sparse_vector(n, 0.001, seed + 1);
   const auto out1 = engine.spmv(
       runtime::Engine::Frontier::from_sparse(sparse_x), kernels::PlainSpmv{});
 
   // 4. SpMV with a *dense* frontier: inner product, and a hardware
   //    reconfiguration on the way.
   const auto dense_x = kernels::DenseFrontier::from_dense(
-      sparse::random_dense_vector(n, 8));
+      sparse::random_dense_vector(n, seed + 2));
   const auto out2 = engine.spmv(
       runtime::Engine::Frontier::from_dense(dense_x), kernels::PlainSpmv{});
 
@@ -98,6 +110,7 @@ int main(int argc, char** argv) {
     Json dataset = Json::object();
     dataset["vertices"] = n;
     dataset["edges"] = m;
+    dataset["seed"] = seed;
     report.set("dataset", std::move(dataset));
     report.write(path);
     std::cout << "wrote run report to " << path << "\n";

@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "graph/algorithms.h"
 #include "runtime/engine.h"
+#include "runtime/report.h"
+#include "sim/profile.h"
 #include "sparse/formats.h"
 
 using namespace cosparse;
@@ -20,8 +22,14 @@ int main(int argc, char** argv) {
   cli.add_option("items", "number of items", "2000");
   cli.add_option("ratings", "number of observed ratings", "40000");
   cli.add_option("iterations", "gradient iterations", "60");
+  cli.add_option("seed", "RNG seed for the rating matrix", "2024");
+  cli.add_flag("profile",
+               "attach the region-attributed memory profiler (adds the "
+               "memory_profile report section; see cosparse-prof)");
+  cli.add_option("report-out", "write a JSON run report to this path", "");
   if (!cli.parse(argc, argv)) return 1;
 
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
   const auto users = static_cast<Index>(cli.integer("users"));
   const auto items = static_cast<Index>(cli.integer("items"));
   const auto num_ratings = static_cast<std::size_t>(cli.integer("ratings"));
@@ -29,7 +37,7 @@ int main(int argc, char** argv) {
 
   // Ground truth: every user/item has a hidden affinity factor; a rating
   // is the product of the two. CF must recover factors that reproduce it.
-  Rng rng(2024);
+  Rng rng(seed);
   std::vector<double> hidden(n);
   for (Index v = 0; v < n; ++v) hidden[v] = 0.4 + 0.5 * rng.next_double();
 
@@ -47,6 +55,8 @@ int main(int argc, char** argv) {
 
   const auto system = sim::SystemConfig::transmuter(8, 8);
   runtime::Engine engine(rating_matrix, system);
+  sim::MemProfiler profiler;
+  if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
   graph::CfOptions opts;
   opts.iterations = static_cast<std::uint32_t>(cli.integer("iterations"));
   opts.beta = 0.05;
@@ -77,5 +87,17 @@ int main(int argc, char** argv) {
             << " hardware reconfigurations after warmup); simulated "
             << model.stats.seconds(system.freq_ghz) * 1e3 << " ms, "
             << model.stats.joules() * 1e3 << " mJ\n";
+
+  if (const std::string path = cli.str("report-out"); !path.empty()) {
+    obs::Report report = runtime::make_run_report(engine, "recommender_cf");
+    Json dataset = Json::object();
+    dataset["users"] = users;
+    dataset["items"] = items;
+    dataset["ratings"] = rating_matrix.nnz();
+    dataset["seed"] = seed;
+    report.set("dataset", std::move(dataset));
+    report.write(path);
+    std::cout << "wrote run report to " << path << "\n";
+  }
   return 0;
 }

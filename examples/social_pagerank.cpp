@@ -11,6 +11,8 @@
 #include "common/cli.h"
 #include "graph/algorithms.h"
 #include "runtime/engine.h"
+#include "runtime/report.h"
+#include "sim/profile.h"
 #include "sparse/datasets.h"
 
 using namespace cosparse;
@@ -21,11 +23,18 @@ int main(int argc, char** argv) {
   cli.add_option("scale", "dataset scale divisor", "16");
   cli.add_option("iterations", "PageRank iterations", "20");
   cli.add_option("system", "simulated system AxB", "16x16");
+  cli.add_option("seed", "stand-in generator seed offset (0 = canonical)",
+                 "0");
+  cli.add_flag("profile",
+               "attach the region-attributed memory profiler (adds the "
+               "memory_profile report section; see cosparse-prof)");
+  cli.add_option("report-out", "write a JSON run report to this path", "");
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
   const auto graph = registry.load(
-      cli.str("graph"), static_cast<unsigned>(cli.integer("scale")));
+      cli.str("graph"), static_cast<unsigned>(cli.integer("scale")), seed);
   std::cout << "PageRank on " << graph.name() << " stand-in: "
             << graph.num_vertices() << " vertices, " << graph.num_edges()
             << " edges\n\n";
@@ -37,6 +46,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(std::stoul(sys_spec.substr(x + 1))));
 
   runtime::Engine engine(graph.adjacency(), system);
+  sim::MemProfiler profiler;
+  if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
   graph::PageRankOptions opts;
   opts.max_iterations = static_cast<std::uint32_t>(cli.integer("iterations"));
   const auto result = graph::pagerank(engine, graph.out_degrees(), opts);
@@ -69,5 +80,17 @@ int main(int argc, char** argv) {
             << " ms, " << ligra.costs.joules * 1e3 << " mJ -> CoSPARSE is "
             << ligra.costs.joules / result.stats.joules()
             << "x more energy-efficient here\n";
+
+  if (const std::string path = cli.str("report-out"); !path.empty()) {
+    obs::Report report = runtime::make_run_report(engine, "social_pagerank");
+    Json dataset = Json::object();
+    dataset["graph"] = graph.name();
+    dataset["vertices"] = graph.num_vertices();
+    dataset["edges"] = graph.num_edges();
+    dataset["seed"] = seed;
+    report.set("dataset", std::move(dataset));
+    report.write(path);
+    std::cout << "wrote run report to " << path << "\n";
+  }
   return 0;
 }

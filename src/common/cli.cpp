@@ -79,6 +79,10 @@ const CliParser::Option& CliParser::lookup(const std::string& name) const {
   return it->second;
 }
 
+bool CliParser::has(const std::string& name) const {
+  return options_.find(name) != options_.end();
+}
+
 bool CliParser::flag(const std::string& name) const {
   return lookup(name).value == "true";
 }

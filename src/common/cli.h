@@ -25,6 +25,9 @@ class CliParser {
   /// malformed/unknown argument.
   bool parse(int argc, const char* const* argv);
 
+  /// Whether `name` was registered (flag or option). Lets shared helpers
+  /// consume optional settings only when the host binary declares them.
+  [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] bool flag(const std::string& name) const;
   [[nodiscard]] std::string str(const std::string& name) const;
   [[nodiscard]] std::int64_t integer(const std::string& name) const;

@@ -18,8 +18,11 @@ class AddressMap {
  public:
   explicit AddressMap(sim::Machine& machine) : machine_(&machine) {}
 
-  /// Address of the first byte of the array identified by `host`.
-  Addr of(const void* host, std::size_t bytes, std::string_view label = "") {
+  /// Address of the first byte of the array identified by `host`. The
+  /// label is mandatory: it names the allocation region for the memory
+  /// profiler (canonical scheme: "matrix.*" for adjacency structure,
+  /// "vector.*" for frontier/operand data, "output.*" for results).
+  Addr of(const void* host, std::size_t bytes, std::string_view label) {
     auto it = map_.find(host);
     if (it != map_.end()) return it->second;
     const Addr a = machine_->alloc(bytes, label);

@@ -54,15 +54,15 @@ IpResult run_inner_product(sim::Machine& m, AddressMap& amap,
 
   // Simulated placement of the persistent arrays.
   const Addr elems_base =
-      amap.of(A.elems().data(), A.nnz() * kIpElemBytes, "ip.elems");
+      amap.of(A.elems().data(), A.nnz() * kIpElemBytes, "matrix.elems");
   const Addr xval_base = amap.of(x.values.values().data(),
                                  static_cast<std::size_t>(n_cols) * kValueBytes,
-                                 "ip.xvals");
+                                 "vector.dense");
   const Addr xbit_base =
-      amap.of(x.active.data(), n_cols / 8 + 1, "ip.xbitmap");
+      amap.of(x.active.data(), n_cols / 8 + 1, "vector.bitmap");
   // Output buffer: fresh each invocation (it is new data).
   const Addr y_base = m.alloc(static_cast<std::size_t>(n_rows) * kValueBytes,
-                              "ip.y");
+                              "output.y");
   // Output initialization to reduce_identity is a bulk DMA store; it costs
   // bandwidth (caught by the roofline) but no PE issue slots.
   m.dma_traffic(static_cast<std::size_t>(n_rows) * kValueBytes,

@@ -66,13 +66,13 @@ OpResult run_outer_product(sim::Machine& m, AddressMap& amap,
                      "OP stripe count does not match machine tiles");
 
   const Addr x_base =
-      amap.of(x.entries().data(), x.nnz() * kOpEntryBytes, "op.x");
+      amap.of(x.entries().data(), x.nnz() * kOpEntryBytes, "vector.sparse");
   const Addr xold_base =
       x_dst_old == nullptr
           ? 0
           : amap.of(x_dst_old->values().data(),
                     static_cast<std::size_t>(x_dst_old->dimension()) * 8,
-                    "op.xold");
+                    "vector.dense_old");
 
   struct HeapNode {
     Index row;
@@ -88,9 +88,9 @@ OpResult run_outer_product(sim::Machine& m, AddressMap& amap,
   for (std::uint32_t tile = 0; tile < m.num_tiles(); ++tile) {
     const auto& stripe = stripes[tile];
     const Addr elems_base = amap.of(
-        stripe.elems.data(), stripe.elems.size() * kOpElemBytes, "op.elems");
+        stripe.elems.data(), stripe.elems.size() * kOpElemBytes, "matrix.op_elems");
     const Addr colptr_base = amap.of(stripe.col_ptr.data(),
-                                     stripe.col_ptr.size() * 8, "op.colptr");
+                                     stripe.col_ptr.size() * 8, "matrix.col_ptr");
     // Scratch heap region for this invocation; per-PE sub-ranges.
     const Addr heap_base = m.alloc(
         static_cast<std::size_t>(P) * (chunk + 1) * kHeapNodeBytes, "op.heap");

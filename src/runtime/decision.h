@@ -27,6 +27,9 @@
 
 namespace cosparse::runtime {
 
+class AuditTrail;
+struct DecisionRecord;
+
 enum class SwConfig : std::uint8_t { kIP, kOP };
 
 [[nodiscard]] const char* to_string(SwConfig c);
@@ -71,8 +74,17 @@ class DecisionEngine {
   [[nodiscard]] Decision decide(Index dimension, double matrix_density,
                                 std::size_t frontier_nnz) const;
 
+  /// Like decide(), but with the software configuration pinned by the
+  /// caller (the engine's sw_reconfig=false modes). The hardware half of
+  /// the tree still runs, and the invocation is still audited (flagged
+  /// forced_sw).
+  [[nodiscard]] Decision decide_forced_sw(SwConfig sw, Index dimension,
+                                          double matrix_density,
+                                          std::size_t frontier_nnz) const;
+
   /// Hardware-only decision given a forced software choice (used by the
-  /// ablation modes and by Fig. 9's per-configuration sweeps).
+  /// ablation modes and by Fig. 9's per-configuration sweeps). Not
+  /// audited and not published to metrics.
   [[nodiscard]] sim::HwConfig decide_hw(SwConfig sw, Index dimension,
                                         std::size_t frontier_nnz) const;
 
@@ -83,14 +95,29 @@ class DecisionEngine {
   /// detach.
   void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
 
+  /// Attaches an audit trail (not owned); decide()/decide_forced_sw() then
+  /// append one DecisionRecord per invocation (runtime/audit.h). Pass
+  /// nullptr to detach.
+  void set_audit(AuditTrail* a) { audit_ = a; }
+
  private:
   /// Bumps the decision.sw/.hw counters for one resolved decision (no-op
   /// without an attached registry).
   void publish(const Decision& d) const;
+  /// The shared body of decide()/decide_forced_sw(); `forced` pins the
+  /// software configuration when non-null.
+  Decision decide_impl(const SwConfig* forced, Index dimension,
+                       double matrix_density, std::size_t frontier_nnz) const;
+  /// The hardware half of the tree; appends threshold checks to `rec`
+  /// when auditing.
+  sim::HwConfig decide_hw_impl(SwConfig sw, Index dimension,
+                               std::size_t frontier_nnz,
+                               DecisionRecord* rec) const;
 
   sim::SystemConfig cfg_;
   Thresholds thresholds_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  AuditTrail* audit_ = nullptr;
 };
 
 }  // namespace cosparse::runtime

@@ -27,6 +27,7 @@ Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
       metrics_(opts.metrics) {
   machine_.set_trace(trace_);
   decider_.set_metrics(metrics_);
+  decider_.set_audit(&audit_);
   // f_next = SpMV(G^T, f): build the resident copies of G^T. SC streams a
   // plain nnz-balanced layout; SCS additionally needs vblocking so vector
   // segments fit the scratchpad (the SC/SCS trade-off of Fig. 5 hinges on
@@ -47,12 +48,8 @@ Decision Engine::resolve_decision(std::size_t frontier_nnz) const {
   if (opts_.sw_reconfig) {
     d = decider_.decide(dimension(), matrix_density_, frontier_nnz);
   } else {
-    d.sw = opts_.fixed_sw;
-    d.vector_density = dimension() == 0
-                           ? 0.0
-                           : static_cast<double>(frontier_nnz) /
-                                 static_cast<double>(dimension());
-    d.hw = decider_.decide_hw(d.sw, dimension(), frontier_nnz);
+    d = decider_.decide_forced_sw(opts_.fixed_sw, dimension(),
+                                  matrix_density_, frontier_nnz);
   }
   if (!opts_.hw_reconfig) {
     // Cache-only baseline mapping unless the caller pinned a config.
@@ -142,6 +139,11 @@ void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
     args["frontier_nnz"] = rec.frontier_nnz;
     args["density"] = rec.density;
     args["reconfigured"] = rec.hw_switched;
+    if (!audit_.empty()) {
+      // One decision is audited per spmv() call, so the latest record is
+      // this iteration's.
+      args["decision"] = audit_.records().back().to_span_args();
+    }
     const double end = static_cast<double>(machine_.cycles());
     trace_->add_span("engine",
                      std::string("spmv ") + to_string(rec.sw) + "/" +

@@ -26,6 +26,7 @@
 #include "kernels/ip_spmv.h"
 #include "kernels/op_spmv.h"
 #include "kernels/partition.h"
+#include "runtime/audit.h"
 #include "runtime/decision.h"
 #include "sim/machine.h"
 #include "sparse/formats.h"
@@ -148,6 +149,9 @@ class Engine {
   [[nodiscard]] sim::Machine& machine() { return machine_; }
   [[nodiscard]] const sim::Machine& machine() const { return machine_; }
   [[nodiscard]] const DecisionEngine& decisions() const { return decider_; }
+  /// Per-invocation decision audit (always on; serialized into the
+  /// "decision_audit" run-report section).
+  [[nodiscard]] const AuditTrail& audit() const { return audit_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
   /// The metrics registry the engine publishes into (nullptr when none was
   /// attached); graph algorithms use it for their own counters.
@@ -182,6 +186,7 @@ class Engine {
   EngineOptions opts_;
   sim::Machine machine_;
   kernels::AddressMap amap_;
+  AuditTrail audit_;
   DecisionEngine decider_;
   // Two IP layouts stay resident: SC streams plain nnz-balanced row
   // partitions, SCS needs the vblocked ordering so the vector segment of

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/profile.h"
+
 namespace cosparse::runtime {
 
 obs::Report make_run_report(const Engine& eng, std::string tool) {
@@ -27,6 +29,8 @@ obs::Report make_run_report(const Engine& eng, std::string tool) {
   }
   rep.set("iterations", std::move(iters));
 
+  rep.set("decision_audit", eng.audit().to_json());
+
   rep.set("stats", m.stats().to_json());
   Json tiles = Json::array();
   for (const sim::Stats& ts : m.tile_stats()) tiles.push_back(ts.to_json());
@@ -42,6 +46,10 @@ obs::Report make_run_report(const Engine& eng, std::string tool) {
   totals["watts"] = m.watts();
   totals["iterations"] = eng.iterations().size();
   rep.set("totals", std::move(totals));
+
+  if (m.profiler() != nullptr) {
+    rep.set("memory_profile", m.profiler()->to_json());
+  }
 
   if (eng.metrics() != nullptr) rep.set("metrics", eng.metrics()->to_json());
   return rep;

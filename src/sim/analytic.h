@@ -44,4 +44,27 @@ AnalyticPrediction extrapolate(const SystemConfig& measured_cfg,
                                const Stats& stats, Cycles measured_cycles,
                                const SystemConfig& target_cfg);
 
+/// Shape of one SpMV invocation, as known *before* running it — exactly
+/// the features the runtime decision tree sees. Element byte sizes are
+/// parameters because the kernels own those constants (sim cannot depend
+/// on kernels).
+struct SpmvShape {
+  std::uint64_t dimension = 0;
+  std::uint64_t matrix_nnz = 0;
+  std::uint64_t frontier_nnz = 0;
+  std::uint32_t matrix_elem_bytes = 16;  ///< kernels::kIpElemBytes
+  std::uint32_t value_bytes = 8;
+};
+
+/// First-principles cycle estimate for one SpMV invocation under a given
+/// dataflow (`inner_product`) and memory configuration — the same
+/// pe/dram/lcp bound structure as extrapolate(), but derived from the
+/// invocation's shape instead of a measured trace. Used by the decision
+/// audit trail (runtime/audit.h) to attach counterfactual costs to the
+/// configurations the decision tree rejected. Deterministic; not
+/// calibrated against the execution-driven simulator — only relative
+/// ordering across configurations is meaningful.
+AnalyticPrediction estimate_spmv(const SystemConfig& cfg, bool inner_product,
+                                 HwConfig hw, const SpmvShape& shape);
+
 }  // namespace cosparse::sim

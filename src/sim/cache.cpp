@@ -211,10 +211,15 @@ bool CacheArray::probe(Addr addr) const {
   return find(addr / line_bytes_) != nullptr;
 }
 
-std::uint64_t CacheArray::flush() {
+std::uint64_t CacheArray::flush(std::vector<Addr>* dirty_lines) {
   std::uint64_t dirty = 0;
   for (Line& l : lines_) {
-    if (l.valid && l.dirty) ++dirty;
+    if (l.valid && l.dirty) {
+      ++dirty;
+      if (dirty_lines != nullptr) {
+        dirty_lines->push_back(l.line_addr * line_bytes_);
+      }
+    }
     l = Line{};
   }
   for (StreamState& s : streams_) s = StreamState{};

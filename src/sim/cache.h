@@ -58,8 +58,10 @@ class CacheArray {
   [[nodiscard]] bool probe(Addr addr) const;
 
   /// Writes back everything: returns the number of dirty lines and clears
-  /// the array (used at reconfiguration boundaries).
-  std::uint64_t flush();
+  /// the array (used at reconfiguration boundaries). When `dirty_lines` is
+  /// non-null the line-aligned byte address of every dirty line is appended
+  /// to it (profiler attribution of flush writebacks).
+  std::uint64_t flush(std::vector<Addr>* dirty_lines = nullptr);
 
   [[nodiscard]] std::size_t total_bytes() const {
     return static_cast<std::size_t>(num_banks_) * bank_bytes_;

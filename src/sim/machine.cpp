@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "sim/profile.h"
 
 namespace cosparse::sim {
 
@@ -16,13 +17,24 @@ Machine::Machine(const SystemConfig& cfg, HwConfig initial)
   rebuild_hierarchy();
 }
 
-Addr Machine::alloc(std::size_t bytes, std::string_view /*label*/) {
+Addr Machine::alloc(std::size_t bytes, std::string_view label) {
   const Addr base = next_addr_;
   const Addr aligned =
       (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
   // Pad with one guard line so distinct arrays never share a cache line.
   next_addr_ += aligned + kCacheLineBytes;
+  allocs_.push_back(AllocRecord{base, bytes, std::string(label)});
+  if (prof_ != nullptr) prof_->add_region(base, bytes, label);
   return base;
+}
+
+void Machine::set_profiler(MemProfiler* prof) {
+  prof_ = prof;
+  if (prof_ == nullptr) return;
+  prof_->begin_machine(cfg_.num_tiles, cfg_.line_bytes, cfg_.dram_channels);
+  for (const AllocRecord& a : allocs_) {
+    prof_->add_region(a.base, a.bytes, a.label);
+  }
 }
 
 void Machine::compute(std::uint32_t pe, double cycles) {
@@ -106,10 +118,10 @@ double Machine::access_l2(std::uint32_t pe, Addr addr, bool write,
     sharers = cfg_.pes_per_tile;
   }
 
-  double latency =
-      cfg_.xbar_latency + arb_penalty(sharers, l2->num_banks()) +
-      cfg_.l2_bank_latency;
+  const double arb = arb_penalty(sharers, l2->num_banks());
+  double latency = cfg_.xbar_latency + arb + cfg_.l2_bank_latency;
   bump(tile, [](Stats& s) { ++s.xbar_transfers; });
+  if (prof_ != nullptr) prof_->xbar_transfer(tile, addr, arb);
 
   const auto out = l2->access(requester, addr, write, /*low_priority=*/!demand);
   if (out.hit) {
@@ -117,6 +129,7 @@ double Machine::access_l2(std::uint32_t pe, Addr addr, bool write,
   } else {
     bump(tile, [](Stats& s) { ++s.l2_misses; });
   }
+  if (prof_ != nullptr) prof_->l2_access(tile, addr, out.hit);
   // Every fetched line (demand fill + prefetches) comes from DRAM.
   for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
     const bool is_demand_fill = (i == 0 && !out.hit);
@@ -125,22 +138,37 @@ double Machine::access_l2(std::uint32_t pe, Addr addr, bool write,
                  dram_.access(cfg_.line_bytes, /*write=*/false,
                               pe_clock_[pe] + latency, stats_,
                               &tile_stats_[tile]);
+      if (prof_ != nullptr) {
+        prof_->dram(tile, out.fetched_lines[i], cfg_.line_bytes,
+                    /*write=*/false);
+      }
     } else {
       dram_.traffic(cfg_.line_bytes, /*write=*/false, stats_,
                     &tile_stats_[tile]);
       bump(tile, [](Stats& s) { ++s.prefetch_lines; });
+      if (prof_ != nullptr) {
+        prof_->dram(tile, out.fetched_lines[i], cfg_.line_bytes,
+                    /*write=*/false);
+        prof_->prefetch_line(tile, out.fetched_lines[i]);
+      }
     }
   }
   for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
     dram_.traffic(cfg_.line_bytes, /*write=*/true, stats_,
                   &tile_stats_[tile]);
     bump(tile, [](Stats& s) { ++s.writeback_lines; });
+    if (prof_ != nullptr) {
+      prof_->dram(tile, out.writeback_lines[i], cfg_.line_bytes,
+                  /*write=*/true);
+      prof_->l2_writeback(tile, out.writeback_lines[i]);
+    }
   }
   return demand ? latency : 0.0;
 }
 
 double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
   const std::uint32_t tile = tile_of(pe);
+  if (prof_ != nullptr) prof_->reuse_sample(addr);
 
   // L1 hits are modeled as pipelined: a 1-issue in-order core with
   // software-pipelined kernels hides the load-to-use latency of hits, so a
@@ -154,8 +182,10 @@ double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
     // Shared L1 within the tile (SC/SCS).
     l1 = l1_tile_[tile].get();
     requester = pe % cfg_.pes_per_tile;
-    l1_latency = 1.0 + arb_penalty(cfg_.pes_per_tile, l1->num_banks());
+    const double arb = arb_penalty(cfg_.pes_per_tile, l1->num_banks());
+    l1_latency = 1.0 + arb;
     bump(tile, [](Stats& s) { ++s.xbar_transfers; });
+    if (prof_ != nullptr) prof_->xbar_transfer(tile, addr, arb);
   } else if (!l1_pe_.empty()) {
     // Private L1 (PC): transparent crossbar, direct access.
     l1 = l1_pe_[pe].get();
@@ -168,16 +198,19 @@ double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
 
   double latency = l1_latency;
   const auto out = l1->access(requester, addr, write);
+  if (prof_ != nullptr) prof_->l1_access(tile, addr, out.hit);
   if (out.hit) {
     bump(tile, [](Stats& s) { ++s.l1_hits; });
     // A tagged prefetch issued on this hit still moves lines (no stall).
     for (std::uint32_t i = 0; i < out.num_fetched; ++i) {
       access_l2(pe, out.fetched_lines[i], /*write=*/false, /*demand=*/false);
       bump(tile, [](Stats& s) { ++s.prefetch_lines; });
+      if (prof_ != nullptr) prof_->prefetch_line(tile, out.fetched_lines[i]);
     }
     for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
       access_l2(pe, out.writeback_lines[i], /*write=*/true, /*demand=*/false);
       bump(tile, [](Stats& s) { ++s.writeback_lines; });
+      if (prof_ != nullptr) prof_->l1_writeback(tile, out.writeback_lines[i]);
     }
     return latency;
   }
@@ -191,12 +224,14 @@ double Machine::route_access(std::uint32_t pe, Addr addr, bool write) {
     } else {
       access_l2(pe, out.fetched_lines[i], /*write=*/false, /*demand=*/false);
       bump(tile, [](Stats& s) { ++s.prefetch_lines; });
+      if (prof_ != nullptr) prof_->prefetch_line(tile, out.fetched_lines[i]);
     }
   }
   // Dirty L1 victims drain into L2 (no PE stall).
   for (std::uint32_t i = 0; i < out.num_writebacks; ++i) {
     access_l2(pe, out.writeback_lines[i], /*write=*/true, /*demand=*/false);
     bump(tile, [](Stats& s) { ++s.writeback_lines; });
+    if (prof_ != nullptr) prof_->l1_writeback(tile, out.writeback_lines[i]);
   }
   return latency;
 }
@@ -240,6 +275,7 @@ void Machine::spm_read(std::uint32_t pe, std::uint32_t /*bytes*/) {
     s.pe_mem_stall_cycles += latency;
     ++s.spm_accesses;
   });
+  if (prof_ != nullptr) prof_->spm_access(tile_of(pe));
 }
 
 void Machine::spm_write(std::uint32_t pe, std::uint32_t bytes) {
@@ -279,7 +315,8 @@ void Machine::spm_fill_tile(std::uint32_t tile, Addr src, std::size_t bytes) {
   });
 }
 
-void Machine::spread_traffic(std::uint64_t bytes, bool write) {
+void Machine::spread_traffic(std::uint64_t bytes, bool write,
+                             const char* profile_bucket) {
   // Tile-less machine-wide streams: split the byte attribution evenly so
   // per-tile slices still sum exactly to the global counters (the DRAM
   // model sees the same total either way).
@@ -290,11 +327,14 @@ void Machine::spread_traffic(std::uint64_t bytes, bool write) {
     const std::uint64_t mine = share + (t == 0 ? remainder : 0);
     if (mine == 0) continue;
     dram_.traffic(mine, write, stats_, &tile_stats_[t]);
+    if (prof_ != nullptr && profile_bucket != nullptr) {
+      prof_->dram_bulk(t, mine, write, profile_bucket);
+    }
   }
 }
 
 void Machine::dma_traffic(std::size_t bytes, bool write) {
-  spread_traffic(bytes, write);
+  spread_traffic(bytes, write, "dma");
 }
 
 void Machine::lcp_emit(std::uint32_t pe, std::uint32_t bytes) {
@@ -308,6 +348,9 @@ void Machine::lcp_emit(std::uint32_t pe, std::uint32_t bytes) {
   // The LCP serializes handling + writeback of the element.
   lcp_clock_[tile] += cfg_.lcp_cycles_per_element();
   dram_.traffic(bytes, /*write=*/true, stats_, &tile_stats_[tile]);
+  if (prof_ != nullptr) {
+    prof_->dram_bulk(tile, bytes, /*write=*/true, "lcp.writeback");
+  }
 }
 
 void Machine::tile_barrier(std::uint32_t tile) {
@@ -340,21 +383,34 @@ void Machine::reconfigure(HwConfig next) {
   // Write back all dirty lines; banks drain in parallel, bounded by DRAM
   // bandwidth. Dirty lines are attributed to the tile owning the flushed
   // structure; the shared L2's flush is split evenly (remainder to 0).
+  // When a profiler is attached, every flushed dirty line is attributed to
+  // its region individually (count + line_bytes of DRAM writeback per line,
+  // matching the aggregate Stats exactly); spread_traffic then skips the
+  // profiler (nullptr bucket) to avoid double attribution.
+  std::vector<Addr> dirty_addrs;
+  std::vector<Addr>* collect = prof_ != nullptr ? &dirty_addrs : nullptr;
+  const auto drain = [&](std::uint32_t tile) {
+    if (prof_ == nullptr) return;
+    for (Addr a : dirty_addrs) prof_->flushed_line(tile, a);
+    dirty_addrs.clear();
+  };
   std::uint64_t dirty = 0;
   for (std::uint32_t t = 0; t < static_cast<std::uint32_t>(l1_tile_.size());
        ++t) {
-    const std::uint64_t d = l1_tile_[t]->flush();
+    const std::uint64_t d = l1_tile_[t]->flush(collect);
     dirty += d;
     bump(t, [&](Stats& s) { s.flushed_dirty_lines += d; });
+    drain(t);
   }
   for (std::uint32_t pe = 0; pe < static_cast<std::uint32_t>(l1_pe_.size());
        ++pe) {
-    const std::uint64_t d = l1_pe_[pe]->flush();
+    const std::uint64_t d = l1_pe_[pe]->flush(collect);
     dirty += d;
     bump(tile_of(pe), [&](Stats& s) { s.flushed_dirty_lines += d; });
+    drain(tile_of(pe));
   }
   if (l2_global_) {
-    const std::uint64_t d = l2_global_->flush();
+    const std::uint64_t d = l2_global_->flush(collect);
     dirty += d;
     stats_.flushed_dirty_lines += d;
     const std::uint64_t share = d / cfg_.num_tiles;
@@ -362,15 +418,25 @@ void Machine::reconfigure(HwConfig next) {
     for (std::uint32_t t = 0; t < cfg_.num_tiles; ++t) {
       tile_stats_[t].flushed_dirty_lines += share + (t == 0 ? remainder : 0);
     }
+    // Shared-L2 lines belong to no single tile; round-robin mirrors the
+    // even split of the Stats attribution.
+    if (prof_ != nullptr) {
+      for (std::size_t i = 0; i < dirty_addrs.size(); ++i) {
+        prof_->flushed_line(static_cast<std::uint32_t>(i % cfg_.num_tiles),
+                            dirty_addrs[i]);
+      }
+      dirty_addrs.clear();
+    }
   }
   for (std::uint32_t t = 0; t < static_cast<std::uint32_t>(l2_tile_.size());
        ++t) {
-    const std::uint64_t d = l2_tile_[t]->flush();
+    const std::uint64_t d = l2_tile_[t]->flush(collect);
     dirty += d;
     bump(t, [&](Stats& s) { s.flushed_dirty_lines += d; });
+    drain(t);
   }
   const std::uint64_t flush_bytes = dirty * cfg_.line_bytes;
-  spread_traffic(flush_bytes, /*write=*/true);
+  spread_traffic(flush_bytes, /*write=*/true, /*profile_bucket=*/nullptr);
   const double flush_cycles =
       dirty == 0 ? 0.0
                  : cfg_.dram_latency_min +

@@ -38,6 +38,8 @@
 
 namespace cosparse::sim {
 
+class MemProfiler;
+
 class Machine {
  public:
   Machine(const SystemConfig& cfg, HwConfig initial);
@@ -55,7 +57,9 @@ class Machine {
 
   // ---- simulated address space ----
   /// Reserves a line-aligned range of the simulated physical address space.
-  /// Stable across reconfigurations; labels aid debugging.
+  /// Stable across reconfigurations. The label names the region for the
+  /// memory profiler ("matrix.elems", "vector.dense", ...); empty labels
+  /// land in the profiler's "unlabeled" bucket.
   Addr alloc(std::size_t bytes, std::string_view label = "");
 
   // ---- PE-side operations (called by kernels) ----
@@ -112,6 +116,14 @@ class Machine {
   /// only cost of detached tracing is one pointer test per event site.
   void set_trace(obs::Trace* trace) { trace_ = trace; }
 
+  /// Attaches a region-attributed memory profiler (sim/profile.h). The
+  /// machine rebinds it (MemProfiler::begin_machine) and replays every
+  /// allocation made so far, so attaching after kernel setup still
+  /// attributes correctly. Pass nullptr to detach; detached profiling costs
+  /// one pointer test per event site.
+  void set_profiler(MemProfiler* prof);
+  [[nodiscard]] MemProfiler* profiler() const { return prof_; }
+
   // ---- results ----
   /// Elapsed cycles: max over PE/LCP clocks, floored by the DRAM bandwidth
   /// roofline (total bytes moved / peak bandwidth).
@@ -156,7 +168,10 @@ class Machine {
     fn(tile_stats_[tile]);
   }
   /// Tile-less DRAM traffic split evenly across tiles (remainder to 0).
-  void spread_traffic(std::uint64_t bytes, bool write);
+  /// `profile_bucket` names the profiler's synthetic region for the bytes;
+  /// pass nullptr when the caller already attributed them (flush drains).
+  void spread_traffic(std::uint64_t bytes, bool write,
+                      const char* profile_bucket);
 
   SystemConfig cfg_;
   HwConfig hw_;
@@ -165,6 +180,14 @@ class Machine {
   Dram dram_;
   EnergyModel energy_;
   obs::Trace* trace_ = nullptr;
+  MemProfiler* prof_ = nullptr;
+
+  struct AllocRecord {
+    Addr base;
+    std::size_t bytes;
+    std::string label;
+  };
+  std::vector<AllocRecord> allocs_;  ///< replayed into late-attached profilers
 
   std::vector<double> pe_clock_;   ///< per global PE id
   std::vector<double> lcp_clock_;  ///< per tile

@@ -1,0 +1,311 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+
+namespace cosparse::sim {
+
+namespace {
+
+constexpr std::uint64_t kClosedRow = std::numeric_limits<std::uint64_t>::max();
+constexpr std::size_t kReuseBuckets = 40;  ///< 2^40 demand accesses is ample
+
+constexpr const char* kUnlabeled = "unlabeled";
+
+}  // namespace
+
+RegionCounters& RegionCounters::operator+=(const RegionCounters& o) {
+  l1_hits += o.l1_hits;
+  l1_misses += o.l1_misses;
+  spm_accesses += o.spm_accesses;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  dram_read_bytes += o.dram_read_bytes;
+  dram_write_bytes += o.dram_write_bytes;
+  prefetch_lines += o.prefetch_lines;
+  writeback_lines += o.writeback_lines;
+  xbar_transfers += o.xbar_transfers;
+  flushed_dirty_lines += o.flushed_dirty_lines;
+  l1_evictions += o.l1_evictions;
+  l2_evictions += o.l2_evictions;
+  dram_row_hits += o.dram_row_hits;
+  dram_row_misses += o.dram_row_misses;
+  xbar_stall_cycles += o.xbar_stall_cycles;
+  return *this;
+}
+
+void RegionCounters::for_each_counter(
+    const std::function<void(std::string_view, double)>& fn) const {
+  fn("l1_hits", static_cast<double>(l1_hits));
+  fn("l1_misses", static_cast<double>(l1_misses));
+  fn("spm_accesses", static_cast<double>(spm_accesses));
+  fn("l2_hits", static_cast<double>(l2_hits));
+  fn("l2_misses", static_cast<double>(l2_misses));
+  fn("dram_read_bytes", static_cast<double>(dram_read_bytes));
+  fn("dram_write_bytes", static_cast<double>(dram_write_bytes));
+  fn("prefetch_lines", static_cast<double>(prefetch_lines));
+  fn("writeback_lines", static_cast<double>(writeback_lines));
+  fn("xbar_transfers", static_cast<double>(xbar_transfers));
+  fn("flushed_dirty_lines", static_cast<double>(flushed_dirty_lines));
+  fn("l1_evictions", static_cast<double>(l1_evictions));
+  fn("l2_evictions", static_cast<double>(l2_evictions));
+  fn("dram_row_hits", static_cast<double>(dram_row_hits));
+  fn("dram_row_misses", static_cast<double>(dram_row_misses));
+  fn("xbar_stall_cycles", xbar_stall_cycles);
+}
+
+Json RegionCounters::to_json() const {
+  Json o = Json::object();
+  o["l1_hits"] = l1_hits;
+  o["l1_misses"] = l1_misses;
+  o["spm_accesses"] = spm_accesses;
+  o["l2_hits"] = l2_hits;
+  o["l2_misses"] = l2_misses;
+  o["dram_read_bytes"] = dram_read_bytes;
+  o["dram_write_bytes"] = dram_write_bytes;
+  o["prefetch_lines"] = prefetch_lines;
+  o["writeback_lines"] = writeback_lines;
+  o["xbar_transfers"] = xbar_transfers;
+  o["flushed_dirty_lines"] = flushed_dirty_lines;
+  o["l1_evictions"] = l1_evictions;
+  o["l2_evictions"] = l2_evictions;
+  o["dram_row_hits"] = dram_row_hits;
+  o["dram_row_misses"] = dram_row_misses;
+  o["xbar_stall_cycles"] = xbar_stall_cycles;
+  return o;
+}
+
+MemProfiler::MemProfiler(std::uint32_t sample_period)
+    : sample_period_(std::max(1u, sample_period)) {}
+
+void MemProfiler::begin_machine(std::uint32_t num_tiles,
+                                std::uint32_t line_bytes,
+                                std::uint32_t dram_channels) {
+  num_tiles_ = std::max(1u, num_tiles);
+  line_bytes_ = std::max(1u, line_bytes);
+  dram_channels_ = std::max(1u, dram_channels);
+  ranges_.clear();
+  open_row_.assign(dram_channels_, kClosedRow);
+  last_use_.clear();
+  // Existing regions keep their counters but must cover the new tile
+  // count; a region never shrinks.
+  for (Region& r : regions_) {
+    if (r.per_tile.size() < num_tiles_) r.per_tile.resize(num_tiles_);
+  }
+}
+
+std::uint32_t MemProfiler::bucket_of(std::string_view label) {
+  const std::string key(label.empty() ? std::string_view(kUnlabeled) : label);
+  const auto it = by_label_.find(key);
+  if (it != by_label_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(regions_.size());
+  Region r;
+  r.label = key;
+  r.per_tile.resize(num_tiles_);
+  r.reuse_buckets.assign(kReuseBuckets, 0);
+  regions_.push_back(std::move(r));
+  by_label_.emplace(key, id);
+  return id;
+}
+
+void MemProfiler::add_region(Addr base, std::size_t bytes,
+                             std::string_view label) {
+  if (label.empty() && !warned_unlabeled_) {
+    warned_unlabeled_ = true;
+    log::debug("unlabeled simulated allocation; profiler attributes it to "
+               "the \"unlabeled\" region",
+               log::kv("base", base), log::kv("bytes", bytes));
+  }
+  const std::uint32_t id = bucket_of(label);
+  // Machine::alloc hands out monotonically increasing bases, so appending
+  // keeps ranges_ sorted; tolerate out-of-order registration anyway.
+  Range r{base, base + bytes, id};
+  const auto pos = std::upper_bound(
+      ranges_.begin(), ranges_.end(), r,
+      [](const Range& a, const Range& b) { return a.base < b.base; });
+  ranges_.insert(pos, r);
+}
+
+std::uint32_t MemProfiler::resolve(Addr addr) {
+  // Last range with base <= addr.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), addr,
+      [](Addr a, const Range& r) { return a < r.base; });
+  if (it != ranges_.begin()) {
+    --it;
+    if (addr < it->end) return it->region;
+  }
+  return bucket_of(kUnlabeled);
+}
+
+RegionCounters& MemProfiler::counters(std::uint32_t region,
+                                      std::uint32_t tile) {
+  return regions_[region].per_tile[std::min(tile, num_tiles_ - 1)];
+}
+
+void MemProfiler::l1_access(std::uint32_t tile, Addr addr, bool hit) {
+  RegionCounters& c = counters(resolve(addr), tile);
+  if (hit) {
+    ++c.l1_hits;
+  } else {
+    ++c.l1_misses;
+  }
+}
+
+void MemProfiler::l2_access(std::uint32_t tile, Addr addr, bool hit) {
+  RegionCounters& c = counters(resolve(addr), tile);
+  if (hit) {
+    ++c.l2_hits;
+  } else {
+    ++c.l2_misses;
+  }
+}
+
+void MemProfiler::l1_writeback(std::uint32_t tile, Addr addr) {
+  RegionCounters& c = counters(resolve(addr), tile);
+  ++c.writeback_lines;
+  ++c.l1_evictions;
+}
+
+void MemProfiler::l2_writeback(std::uint32_t tile, Addr addr) {
+  RegionCounters& c = counters(resolve(addr), tile);
+  ++c.writeback_lines;
+  ++c.l2_evictions;
+}
+
+void MemProfiler::prefetch_line(std::uint32_t tile, Addr addr) {
+  ++counters(resolve(addr), tile).prefetch_lines;
+}
+
+void MemProfiler::xbar_transfer(std::uint32_t tile, Addr addr,
+                                double arb_cycles) {
+  RegionCounters& c = counters(resolve(addr), tile);
+  ++c.xbar_transfers;
+  c.xbar_stall_cycles += arb_cycles;
+}
+
+void MemProfiler::spm_access(std::uint32_t tile) {
+  ++counters(bucket_of("spm"), tile).spm_accesses;
+}
+
+void MemProfiler::dram(std::uint32_t tile, Addr addr, std::uint64_t bytes,
+                       bool write) {
+  RegionCounters& c = counters(resolve(addr), tile);
+  if (write) {
+    c.dram_write_bytes += bytes;
+  } else {
+    c.dram_read_bytes += bytes;
+  }
+  // Row-buffer model: lines interleave round-robin across pseudo-channels;
+  // a channel's consecutive lines fill kRowBytes rows.
+  const std::uint64_t line = addr / line_bytes_;
+  const auto channel = static_cast<std::size_t>(line % dram_channels_);
+  const std::uint64_t lines_per_row = std::max<std::uint64_t>(
+      1, kRowBytes / line_bytes_);
+  const std::uint64_t row = line / dram_channels_ / lines_per_row;
+  if (open_row_[channel] == row) {
+    ++c.dram_row_hits;
+  } else {
+    ++c.dram_row_misses;
+    open_row_[channel] = row;
+  }
+}
+
+void MemProfiler::dram_bulk(std::uint32_t tile, std::uint64_t bytes,
+                            bool write, std::string_view bucket) {
+  RegionCounters& c = counters(bucket_of(bucket), tile);
+  if (write) {
+    c.dram_write_bytes += bytes;
+  } else {
+    c.dram_read_bytes += bytes;
+  }
+}
+
+void MemProfiler::flushed_line(std::uint32_t tile, Addr addr) {
+  ++counters(resolve(addr), tile).flushed_dirty_lines;
+  dram(tile, addr, line_bytes_, /*write=*/true);
+}
+
+void MemProfiler::reuse_sample(Addr addr) {
+  const std::uint64_t tick = ++demand_tick_;
+  const std::uint64_t line = addr / line_bytes_;
+  if (line % sample_period_ != 0) return;
+  const std::uint32_t region = resolve(addr);
+  const auto it = last_use_.find(line);
+  if (it != last_use_.end()) {
+    const std::uint64_t distance = tick - it->second;
+    std::size_t bucket = 0;
+    while ((1ull << (bucket + 1)) <= distance && bucket + 1 < kReuseBuckets) {
+      ++bucket;
+    }
+    Region& r = regions_[region];
+    ++r.reuse_buckets[bucket];
+    ++r.reuse_samples;
+    it->second = tick;
+  } else {
+    last_use_.emplace(line, tick);
+  }
+}
+
+RegionCounters MemProfiler::Region::total() const {
+  RegionCounters t;
+  for (const RegionCounters& c : per_tile) t += c;
+  return t;
+}
+
+std::vector<const MemProfiler::Region*> MemProfiler::regions() const {
+  std::vector<const Region*> out;
+  out.reserve(regions_.size());
+  for (const Region& r : regions_) out.push_back(&r);
+  std::sort(out.begin(), out.end(),
+            [](const Region* a, const Region* b) { return a->label < b->label; });
+  return out;
+}
+
+const MemProfiler::Region* MemProfiler::find_region(
+    std::string_view label) const {
+  const auto it = by_label_.find(std::string(label));
+  return it == by_label_.end() ? nullptr : &regions_[it->second];
+}
+
+RegionCounters MemProfiler::total() const {
+  RegionCounters t;
+  for (const Region& r : regions_) t += r.total();
+  return t;
+}
+
+Json MemProfiler::to_json() const {
+  Json doc = Json::object();
+  doc["sample_period"] = sample_period_;
+  doc["row_bytes"] = kRowBytes;
+  Json regions = Json::object();
+  for (const Region* r : this->regions()) {
+    Json entry = Json::object();
+    entry["counters"] = r->total().to_json();
+    Json tiles = Json::array();
+    for (const RegionCounters& c : r->per_tile) tiles.push_back(c.to_json());
+    entry["per_tile"] = std::move(tiles);
+    // Trim trailing empty buckets so small runs stay compact.
+    std::size_t top = r->reuse_buckets.size();
+    while (top > 0 && r->reuse_buckets[top - 1] == 0) --top;
+    Json reuse = Json::object();
+    reuse["samples"] = r->reuse_samples;
+    Json bounds = Json::array();
+    Json counts = Json::array();
+    for (std::size_t b = 0; b < top; ++b) {
+      bounds.push_back(std::uint64_t{1} << b);
+      counts.push_back(r->reuse_buckets[b]);
+    }
+    reuse["bucket_lower_bounds"] = std::move(bounds);
+    reuse["counts"] = std::move(counts);
+    entry["reuse_distance"] = std::move(reuse);
+    regions[r->label] = std::move(entry);
+  }
+  doc["regions"] = std::move(regions);
+  doc["totals"] = total().to_json();
+  return doc;
+}
+
+}  // namespace cosparse::sim

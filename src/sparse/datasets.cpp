@@ -56,17 +56,22 @@ const DatasetSpec& DatasetRegistry::spec(const std::string& name) {
               "' (expected one of livejournal/pokec/youtube/twitter/vsp)");
 }
 
-Graph DatasetRegistry::load(const std::string& name, unsigned scale) const {
+Graph DatasetRegistry::load(const std::string& name, unsigned scale,
+                            std::uint64_t seed_offset) const {
   COSPARSE_REQUIRE(scale >= 1, "dataset scale divisor must be >= 1");
   const DatasetSpec& s = spec(name);
 
   // Generated stand-ins are deterministic, so they can be cached on disk
-  // (COSPARSE_CACHE_DIR) and reloaded instead of regenerated.
+  // (COSPARSE_CACHE_DIR) and reloaded instead of regenerated. A nonzero
+  // seed offset names a distinct cache entry.
   std::string cache_path;
   if (const char* cache_dir = std::getenv("COSPARSE_CACHE_DIR")) {
     std::filesystem::create_directories(cache_dir);
+    const std::string seed_tag =
+        seed_offset == 0 ? "" : "_seed" + std::to_string(seed_offset);
     cache_path = (std::filesystem::path(cache_dir) /
-                  (name + "_scale" + std::to_string(scale) + ".bin"))
+                  (name + "_scale" + std::to_string(scale) + seed_tag +
+                   ".bin"))
                      .string();
     if (std::filesystem::exists(cache_path)) {
       try {
@@ -91,7 +96,10 @@ Graph DatasetRegistry::load(const std::string& name, unsigned scale) const {
   const Index vertices = std::max<Index>(16, s.vertices / scale);
   const std::uint64_t edges = std::max<std::uint64_t>(
       vertices, s.edges / scale);
-  const std::uint64_t seed = seed_for(name);
+  // Mix the caller's seed offset into the per-name seed; splitmix-style
+  // scrambling keeps seed 1 and seed 2 uncorrelated.
+  const std::uint64_t seed =
+      seed_for(name) ^ (seed_offset * 0x9E3779B97F4A7C15ULL);
 
   Coo adj;
   if (s.power_law) {

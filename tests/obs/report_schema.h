@@ -86,6 +86,85 @@ inline std::string check_report(const Json& doc) {
     }
   }
 
+  if (const Json* prof = doc.find("memory_profile"); prof != nullptr) {
+    if (!prof->is_object()) return "memory_profile is not an object";
+    const Json* ptotals = prof->find("totals");
+    const Json* regions = prof->find("regions");
+    if (ptotals == nullptr || !ptotals->is_object()) {
+      return "memory_profile missing object field: totals";
+    }
+    if (regions == nullptr || !regions->is_object()) {
+      return "memory_profile missing object field: regions";
+    }
+    for (const auto& [name, total] : ptotals->members()) {
+      // Region sums reproduce the profile totals (exactly for integer
+      // counters, to rounding for the stall-cycle doubles).
+      if (total.type() == Json::Type::kInt) {
+        std::int64_t sum = 0;
+        for (const auto& [label, region] : regions->members()) {
+          const Json* counters = region.find("counters");
+          if (counters == nullptr) {
+            return "memory_profile region missing counters: " + label;
+          }
+          const Json* v = counters->find(name);
+          if (v == nullptr) {
+            return "memory_profile region missing counter: " + name;
+          }
+          sum += v->as_int();
+        }
+        if (sum != total.as_int()) {
+          return "memory_profile regions do not sum to totals for counter: " +
+                 name;
+        }
+      }
+      // Profile totals reproduce the global stats bit-exactly for every
+      // counter name the two sections share (the MemProfiler invariant).
+      if (const Json* stats = doc.find("stats"); stats != nullptr) {
+        const Json* g = stats->find(name);
+        if (g != nullptr && total.type() == Json::Type::kInt &&
+            g->type() == Json::Type::kInt &&
+            total.as_int() != g->as_int()) {
+          return "memory_profile total diverges from stats counter: " + name;
+        }
+      }
+    }
+  }
+
+  if (const Json* audit = doc.find("decision_audit"); audit != nullptr) {
+    if (!audit->is_object()) return "decision_audit is not an object";
+    const Json* invs = audit->find("invocations");
+    if (invs == nullptr || !invs->is_array()) {
+      return "decision_audit missing array field: invocations";
+    }
+    std::uint32_t expected = 0;
+    for (const Json& rec : invs->items()) {
+      for (const char* key :
+           {"invocation", "forced_sw", "features", "checks", "sw", "hw",
+            "cvd", "counterfactuals"}) {
+        if (rec.find(key) == nullptr) {
+          return std::string("decision record missing field: ") + key;
+        }
+      }
+      if (static_cast<std::uint32_t>(rec.find("invocation")->as_int()) !=
+          expected++) {
+        return "decision records are not sequentially numbered";
+      }
+      const Json* cfs = rec.find("counterfactuals");
+      if (!cfs->is_array() || cfs->size() != 4) {
+        return "decision record must carry 4 counterfactuals";
+      }
+      std::size_t chosen = 0;
+      for (const Json& cf : cfs->items()) {
+        const Json* flag = cf.find("chosen");
+        if (flag == nullptr) return "counterfactual missing field: chosen";
+        if (flag->as_bool()) ++chosen;
+      }
+      if (chosen != 1) {
+        return "decision record must mark exactly one chosen counterfactual";
+      }
+    }
+  }
+
   return "";
 }
 

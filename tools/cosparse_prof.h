@@ -1,0 +1,72 @@
+// cosparse-prof: offline analysis of cosparse.run_report/v1 documents.
+//
+// Two subcommands, both operating purely on report JSON (no simulator
+// dependency, so reports from different builds remain comparable):
+//
+//   summarize <report.json>...
+//     prints, per report, the memory-profile region and per-tile breakdown
+//     tables and the decision-audit timeline (one row per SpMV invocation:
+//     features, CVD margin, chosen config, counterfactual estimates).
+//
+//   diff <baseline.json> <candidate.json> [--max-regress 5%]
+//     compares the candidate against the baseline on the gated metrics
+//     (total cycles, L1/L2 misses, DRAM bytes) plus informational
+//     per-region miss deltas, and exits nonzero when any gated metric
+//     regressed by more than the allowed fraction — the CI gate against a
+//     committed golden baseline.
+//
+// The comparison/summary logic lives in this header's functions (library
+// target cosparse_prof_lib) so tests/tools/test_cosparse_prof.cpp can
+// drive it on crafted documents; cosparse_prof_main.cpp is a thin wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cosparse::tools {
+
+struct DiffOptions {
+  /// Allowed relative regression on gated metrics (0.05 = 5% worse).
+  double max_regress = 0.05;
+};
+
+struct DiffRow {
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;  ///< (candidate - baseline) / baseline
+  bool gated = false;       ///< counts towards the exit code
+  bool regressed = false;   ///< gated && rel_change > max_regress
+};
+
+struct DiffResult {
+  std::vector<DiffRow> rows;
+  bool regressed = false;  ///< any gated row regressed
+};
+
+/// Parses "5%", "5" (both 5%) or "0.05x" (fraction) into a fraction.
+/// Throws cosparse::Error on malformed input or a negative value.
+[[nodiscard]] double parse_regress_limit(const std::string& text);
+
+/// Compares two run-report documents (see file comment for the metric
+/// set). Metrics missing from either document are skipped — diffing a
+/// report against itself always yields zero rows regressed.
+[[nodiscard]] DiffResult diff_reports(const Json& baseline,
+                                      const Json& candidate,
+                                      const DiffOptions& opts);
+
+void print_diff(std::ostream& os, const DiffResult& result,
+                const DiffOptions& opts);
+
+/// Prints the summary tables for one report document.
+void summarize_report(std::ostream& os, const Json& doc,
+                      const std::string& name);
+
+/// Full CLI (argument parsing + file IO). Returns the process exit code:
+/// 0 ok, 1 regression or validation failure, 2 usage error.
+int prof_main(int argc, const char* const* argv);
+
+}  // namespace cosparse::tools

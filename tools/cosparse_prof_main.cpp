@@ -1,0 +1,5 @@
+#include "cosparse_prof.h"
+
+int main(int argc, char** argv) {
+  return cosparse::tools::prof_main(argc, argv);
+}
