@@ -10,6 +10,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/error.h"
 #include "sim/machine.h"
 
 namespace cosparse::kernels {
@@ -22,7 +23,14 @@ class AddressMap {
   /// label is mandatory: it names the allocation region for the memory
   /// profiler (canonical scheme: "matrix.*" for adjacency structure,
   /// "vector.*" for frontier/operand data, "output.*" for results).
+  /// Zero-sized regions are an error — an empty array has no bytes to
+  /// address, and a silent zero-byte mapping would alias the next
+  /// allocation (cosparse-lint flags the same defect statically as
+  /// "address.zero-region"). Callers with legitimately empty arrays must
+  /// skip the mapping; by construction they also issue no accesses.
   Addr of(const void* host, std::size_t bytes, std::string_view label) {
+    COSPARSE_REQUIRE(bytes > 0, "AddressMap::of: zero-sized region '" +
+                                    std::string(label) + "'");
     auto it = map_.find(host);
     if (it != map_.end()) return it->second;
     const Addr a = machine_->alloc(bytes, label);
@@ -30,9 +38,31 @@ class AddressMap {
     return a;
   }
 
+  /// Number of distinct host arrays mapped so far.
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  /// Visits every region this map created, in allocation order, as
+  /// (base, bytes, label). Iterates the owning machine's allocation
+  /// records filtered to this map's bases, so labels and sizes are the
+  /// ones the allocator actually recorded.
+  template <class Fn>
+  void for_each_region(Fn&& fn) const {
+    for (const auto& rec : machine_->allocations()) {
+      if (!owns(rec.base)) continue;
+      fn(rec.base, rec.bytes, std::string_view(rec.label));
+    }
+  }
+
   [[nodiscard]] sim::Machine& machine() const { return *machine_; }
 
  private:
+  [[nodiscard]] bool owns(Addr base) const {
+    for (const auto& [host, a] : map_) {
+      if (a == base) return true;
+    }
+    return false;
+  }
+
   sim::Machine* machine_;
   std::unordered_map<const void*, Addr> map_;
 };

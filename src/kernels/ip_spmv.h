@@ -52,9 +52,13 @@ IpResult run_inner_product(sim::Machine& m, AddressMap& amap,
   out.y = sparse::DenseVector(n_rows, sr.reduce_identity());
   out.touched.assign(n_rows, 0);
 
-  // Simulated placement of the persistent arrays.
+  // Simulated placement of the persistent arrays. An empty matrix has no
+  // element stream to place (and the loops below never touch it);
+  // AddressMap::of rejects zero-sized regions.
   const Addr elems_base =
-      amap.of(A.elems().data(), A.nnz() * kIpElemBytes, "matrix.elems");
+      A.nnz() == 0
+          ? Addr{0}
+          : amap.of(A.elems().data(), A.nnz() * kIpElemBytes, "matrix.elems");
   const Addr xval_base = amap.of(x.values.values().data(),
                                  static_cast<std::size_t>(n_cols) * kValueBytes,
                                  "vector.dense");

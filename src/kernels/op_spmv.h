@@ -65,8 +65,13 @@ OpResult run_outer_product(sim::Machine& m, AddressMap& amap,
   COSPARSE_CHECK_MSG(stripes.size() == m.num_tiles(),
                      "OP stripe count does not match machine tiles");
 
+  // Empty frontiers/stripes have no bytes to place (and issue no
+  // accesses); AddressMap::of rejects zero-sized regions.
   const Addr x_base =
-      amap.of(x.entries().data(), x.nnz() * kOpEntryBytes, "vector.sparse");
+      x.nnz() == 0
+          ? Addr{0}
+          : amap.of(x.entries().data(), x.nnz() * kOpEntryBytes,
+                    "vector.sparse");
   const Addr xold_base =
       x_dst_old == nullptr
           ? 0
@@ -87,8 +92,11 @@ OpResult run_outer_product(sim::Machine& m, AddressMap& amap,
 
   for (std::uint32_t tile = 0; tile < m.num_tiles(); ++tile) {
     const auto& stripe = stripes[tile];
-    const Addr elems_base = amap.of(
-        stripe.elems.data(), stripe.elems.size() * kOpElemBytes, "matrix.op_elems");
+    const Addr elems_base =
+        stripe.elems.empty()
+            ? Addr{0}
+            : amap.of(stripe.elems.data(),
+                      stripe.elems.size() * kOpElemBytes, "matrix.op_elems");
     const Addr colptr_base = amap.of(stripe.col_ptr.data(),
                                      stripe.col_ptr.size() * 8, "matrix.col_ptr");
     // Scratch heap region for this invocation; per-PE sub-ranges.

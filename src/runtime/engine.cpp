@@ -1,21 +1,9 @@
 #include "runtime/engine.h"
 
 #include "common/error.h"
+#include "kernels/region_plan.h"
 
 namespace cosparse::runtime {
-namespace {
-
-/// vblock width (in columns) such that one vblock's 8-byte value segment
-/// fits in the tile's SCS scratchpad (the frontier bitmap stays cached).
-Index vblock_cols_for(const sim::SystemConfig& cfg) {
-  const double spm = static_cast<double>(cfg.scs_spm_bytes_per_tile());
-  const auto cols = static_cast<Index>(spm / 8.0);
-  // Round down to a multiple of 64 so vblock boundaries are line-aligned
-  // (keeps DMA fills and bitmap words from straddling blocks).
-  return std::max<Index>(64, cols / 64 * 64);
-}
-
-}  // namespace
 
 Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
                EngineOptions opts)
@@ -36,7 +24,7 @@ Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
   matrix_density_ = mt.density();
   ip_matrix_sc_ = kernels::IpPartitionedMatrix::build(mt, cfg.num_pes(), 0,
                                                       opts_.nnz_balanced);
-  const Index vb = opts_.vblocked ? vblock_cols_for(cfg) : 0;
+  const Index vb = opts_.vblocked ? kernels::default_vblock_cols(cfg) : 0;
   ip_matrix_scs_ = kernels::IpPartitionedMatrix::build(mt, cfg.num_pes(), vb,
                                                        opts_.nnz_balanced);
   op_matrix_ =

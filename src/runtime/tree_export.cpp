@@ -1,0 +1,141 @@
+#include "runtime/tree_export.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "kernels/op_spmv.h"
+
+namespace cosparse::runtime {
+
+namespace {
+
+Json interval_to_json(const FeatureInterval& iv) {
+  Json o = Json::object();
+  o["lo"] = iv.lo;
+  if (std::isinf(iv.hi)) {
+    o["hi"] = nullptr;
+  } else {
+    o["hi"] = iv.hi;
+  }
+  return o;
+}
+
+FeatureInterval interval_from_json(const Json& j, const char* what) {
+  COSPARSE_REQUIRE(j.is_object(),
+                   std::string(what) + " interval must be an object");
+  FeatureInterval iv;
+  if (const Json* lo = j.find("lo"); lo != nullptr) iv.lo = lo->as_double();
+  if (const Json* hi = j.find("hi"); hi != nullptr && !hi->is_null()) {
+    iv.hi = hi->as_double();
+  }
+  return iv;
+}
+
+}  // namespace
+
+Json DecisionTreeSpec::to_json() const {
+  Json o = Json::object();
+  Json arr = Json::array();
+  for (const auto& r : rules) {
+    Json rule = Json::object();
+    rule["node"] = r.node;
+    rule["sw"] = to_string(r.sw);
+    rule["hw"] = sim::to_string(r.hw);
+    rule["density"] = interval_to_json(r.density);
+    rule["footprint"] = interval_to_json(r.footprint);
+    arr.push_back(std::move(rule));
+  }
+  o["rules"] = std::move(arr);
+  return o;
+}
+
+DecisionTreeSpec DecisionTreeSpec::from_json(const Json& j) {
+  COSPARSE_REQUIRE(j.is_object(), "decision tree must be a JSON object");
+  const Json* rules = j.find("rules");
+  COSPARSE_REQUIRE(rules != nullptr && rules->is_array(),
+                   "decision tree missing array field: rules");
+  DecisionTreeSpec spec;
+  for (const Json& rj : rules->items()) {
+    COSPARSE_REQUIRE(rj.is_object(), "decision tree rule must be an object");
+    TreeRule r;
+    if (const Json* node = rj.find("node"); node != nullptr) {
+      r.node = node->as_string();
+    }
+    const Json* sw = rj.find("sw");
+    const Json* hw = rj.find("hw");
+    COSPARSE_REQUIRE(sw != nullptr && hw != nullptr,
+                     "decision tree rule missing sw/hw");
+    r.sw = sw_config_from_string(sw->as_string());
+    r.hw = sim::hw_config_from_string(hw->as_string());
+    if (const Json* d = rj.find("density"); d != nullptr) {
+      r.density = interval_from_json(*d, "density");
+    }
+    if (const Json* fp = rj.find("footprint"); fp != nullptr) {
+      r.footprint = interval_from_json(*fp, "footprint");
+    }
+    if (r.node.empty()) {
+      r.node = std::string(to_string(r.sw)) + "." + sim::to_string(r.hw);
+    }
+    spec.rules.push_back(std::move(r));
+  }
+  return spec;
+}
+
+std::size_t vector_footprint_bytes(Index dimension) {
+  return static_cast<std::size_t>(dimension) * 8 +
+         static_cast<std::size_t>(dimension) / 8;
+}
+
+double ps_density_threshold(const sim::SystemConfig& cfg, const Thresholds& t,
+                            Index dimension) {
+  if (dimension == 0) return 2.0;
+  const double budget =
+      t.ps_list_fraction * static_cast<double>(cfg.bank_bytes);
+  // fits  <=>  ceil(nnz / P) * kHeapNodeBytes <= budget
+  //       <=>  nnz <= floor(budget / kHeapNodeBytes) * P
+  const double max_fit_per_pe =
+      std::floor(budget / static_cast<double>(kernels::kHeapNodeBytes));
+  const double max_fit_nnz =
+      std::max(0.0, max_fit_per_pe) * static_cast<double>(cfg.pes_per_tile);
+  return (max_fit_nnz + 1.0) / static_cast<double>(dimension);
+}
+
+DecisionTreeSpec export_decision_tree(const sim::SystemConfig& cfg,
+                                      const Thresholds& t, Index dimension,
+                                      double matrix_density) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double cvd =
+      std::clamp(t.cvd(cfg.pes_per_tile, matrix_density), 0.0, 1.0);
+  const double d_ps = ps_density_threshold(cfg, t, dimension);
+  // Footprint classes split at "fits in the tile's L1" (integer bytes, so
+  // the half-open boundary sits one past the capacity).
+  const double fp_split =
+      static_cast<double>(cfg.l1_bytes_per_tile()) + 1.0;
+  const double scs = t.scs_density;
+
+  DecisionTreeSpec spec;
+  // Outer product below the CVD: PC while the per-PE sorted list fits one
+  // private bank, PS beyond. The footprint axis does not constrain OP.
+  spec.rules.push_back({"op.pc", SwConfig::kOP, sim::HwConfig::kPC,
+                        {0.0, std::min(cvd, d_ps)},
+                        {0.0, kInf}});
+  spec.rules.push_back({"op.ps", SwConfig::kOP, sim::HwConfig::kPS,
+                        {std::min(cvd, d_ps), cvd},
+                        {0.0, kInf}});
+  // Inner product at/above the CVD: SC whenever the vector fits the tile's
+  // L1; beyond L1 capacity, SCS once the frontier is dense enough to pay
+  // for the per-vblock DMA fills.
+  spec.rules.push_back({"ip.sc_l1fit", SwConfig::kIP, sim::HwConfig::kSC,
+                        {cvd, kInf},
+                        {0.0, fp_split}});
+  spec.rules.push_back({"ip.sc_sparse", SwConfig::kIP, sim::HwConfig::kSC,
+                        {cvd, std::max(cvd, scs)},
+                        {fp_split, kInf}});
+  spec.rules.push_back({"ip.scs", SwConfig::kIP, sim::HwConfig::kSCS,
+                        {std::max(cvd, scs), kInf},
+                        {fp_split, kInf}});
+  return spec;
+}
+
+}  // namespace cosparse::runtime

@@ -1,0 +1,80 @@
+// Exports the reconfiguration decision tree to an analyzable form.
+//
+// The runtime's tree (decision.h) is code; static analysis needs data. A
+// DecisionTreeSpec is the tree flattened into axis-aligned rules over the
+// two features every decision reduces to once the dataset is fixed:
+//
+//   * vector density  — frontier_nnz / dimension, in [0, 1];
+//   * vector footprint — dense value array + bitmap bytes, in [0, inf).
+//
+// Each rule maps a half-open density × footprint box to one (SW, HW)
+// configuration and carries a node name ("op.pc", "ip.scs", ...) used as
+// the source location of decision-tree lint findings. export_decision_tree
+// derives the spec from a Thresholds instance for a concrete dataset, so
+// by construction it partitions the space exactly like DecisionEngine
+// decides (cross-checked by tests/verify/test_tree_export.cpp); a run plan
+// may instead carry a hand-written spec, which is what the gap/overlap
+// analysis in src/verify/tree_lint.h exists to catch.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/types.h"
+#include "runtime/decision.h"
+#include "sim/config.h"
+
+namespace cosparse::runtime {
+
+/// Half-open interval [lo, hi); hi == infinity() means unbounded above.
+struct FeatureInterval {
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool contains(double x) const { return x >= lo && x < hi; }
+  [[nodiscard]] bool empty() const { return lo >= hi; }
+};
+
+struct TreeRule {
+  std::string node;  ///< tree-node name, the lint location ("ip.scs", ...)
+  SwConfig sw = SwConfig::kIP;
+  sim::HwConfig hw = sim::HwConfig::kSC;
+  FeatureInterval density;    ///< vector density in [0, 1]
+  FeatureInterval footprint;  ///< dense vector footprint in bytes
+
+  [[nodiscard]] bool covers(double d, double fp) const {
+    return density.contains(d) && footprint.contains(fp);
+  }
+};
+
+struct DecisionTreeSpec {
+  std::vector<TreeRule> rules;
+
+  [[nodiscard]] Json to_json() const;
+  /// Throws cosparse::Error on malformed documents.
+  static DecisionTreeSpec from_json(const Json& j);
+};
+
+/// Dense vector footprint modeled by the decision tree: 8 B of values plus
+/// 1 bit of bitmap per vertex (decision.cpp uses the same formula).
+[[nodiscard]] std::size_t vector_footprint_bytes(Index dimension);
+
+/// The density threshold (for `dimension`) above which the per-PE sorted
+/// list of column heads no longer fits the PS budget — the OP half of the
+/// tree expressed as a density breakpoint. Returns > 1 when PS is
+/// unreachable at this dimension.
+[[nodiscard]] double ps_density_threshold(const sim::SystemConfig& cfg,
+                                          const Thresholds& t,
+                                          Index dimension);
+
+/// Flattens the tree for a concrete dataset. The returned rules partition
+/// density [0, 1] × footprint [0, inf) exactly when the thresholds are
+/// sane; degenerate thresholds produce empty-interval rules (kept, so the
+/// lint can name the unreachable branch).
+[[nodiscard]] DecisionTreeSpec export_decision_tree(
+    const sim::SystemConfig& cfg, const Thresholds& t, Index dimension,
+    double matrix_density);
+
+}  // namespace cosparse::runtime

@@ -62,6 +62,19 @@ class Machine {
   /// land in the profiler's "unlabeled" bucket.
   Addr alloc(std::size_t bytes, std::string_view label = "");
 
+  struct AllocRecord {
+    Addr base;
+    std::size_t bytes;
+    std::string label;
+  };
+  /// Every allocation made so far, in allocation order — the introspection
+  /// hook behind AddressMap::for_each_region and the cosparse-lint
+  /// address-map pass (regions are also replayed into late-attached
+  /// profilers from this record).
+  [[nodiscard]] const std::vector<AllocRecord>& allocations() const {
+    return allocs_;
+  }
+
   // ---- PE-side operations (called by kernels) ----
   /// Charges `cycles` of ALU/issue work to a PE.
   void compute(std::uint32_t pe, double cycles);
@@ -182,11 +195,6 @@ class Machine {
   obs::Trace* trace_ = nullptr;
   MemProfiler* prof_ = nullptr;
 
-  struct AllocRecord {
-    Addr base;
-    std::size_t bytes;
-    std::string label;
-  };
   std::vector<AllocRecord> allocs_;  ///< replayed into late-attached profilers
 
   std::vector<double> pe_clock_;   ///< per global PE id

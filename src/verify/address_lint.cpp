@@ -1,0 +1,217 @@
+#include "verify/address_lint.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace cosparse::verify {
+
+namespace {
+
+constexpr const char* kPass = "address_map";
+
+void emit(std::vector<Finding>& out, std::string id, Severity sev,
+          std::string message, std::string region_label) {
+  out.push_back(Finding{kPass, std::move(id), sev, std::move(message),
+                        Location::region(std::move(region_label))});
+}
+
+bool has_canonical_prefix(const std::string& label) {
+  for (const char* prefix : {"matrix.", "vector.", "output.", "op."}) {
+    if (label.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t instances(const kernels::PlannedRegion& r,
+                        const sim::SystemConfig& cfg) {
+  switch (r.scope) {
+    case kernels::RegionScope::kGlobal: return 1;
+    case kernels::RegionScope::kPerTile: return cfg.num_tiles;
+    case kernels::RegionScope::kPerPe: return cfg.num_pes();
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_address_map(const RunPlan& plan) {
+  std::vector<Finding> out;
+  const sim::SystemConfig& cfg = plan.system;
+  const auto regions = plan.effective_regions();
+  const std::size_t line = std::max<std::uint32_t>(1, cfg.line_bytes);
+
+  // ---- per-region hygiene ----
+  std::set<std::string> seen;
+  for (const auto& r : regions) {
+    if (r.label.empty()) {
+      emit(out, "address.unlabeled", Severity::kError,
+           "region has no label; labels are mandatory (the profiler "
+           "attributes traffic by them)",
+           "(unlabeled)");
+    } else if (!has_canonical_prefix(r.label)) {
+      emit(out, "address.unknown-label", Severity::kWarning,
+           "label '" + r.label +
+               "' is outside the canonical matrix./vector./output./op. "
+               "scheme and will land in the profiler's catch-all bucket",
+           r.label);
+    }
+    if (!r.label.empty() && !seen.insert(r.label).second) {
+      emit(out, "address.duplicate-label", Severity::kWarning,
+           "label '" + r.label + "' names more than one region", r.label);
+    }
+    if (r.bytes == 0) {
+      emit(out, "address.zero-region", Severity::kError,
+           "region '" + r.label +
+               "' is zero-sized; AddressMap::of rejects empty regions "
+               "(a zero-byte mapping would alias its neighbour)",
+           r.label);
+    }
+  }
+
+  // ---- placement: overlap and alignment of pinned regions ----
+  struct Placed {
+    const kernels::PlannedRegion* region;
+    Addr begin;
+    Addr end;
+  };
+  std::vector<Placed> placed;
+  for (const auto& r : regions) {
+    if (!r.base.has_value() || r.bytes == 0) continue;
+    if (*r.base % line != 0) {
+      emit(out, "address.misaligned", Severity::kWarning,
+           "region '" + r.label + "' base " + std::to_string(*r.base) +
+               " is not aligned to the " + std::to_string(line) +
+               " B line size",
+           r.label);
+    }
+    const std::uint64_t extent =
+        static_cast<std::uint64_t>(r.bytes) * instances(r, cfg);
+    placed.push_back(Placed{&r, *r.base, *r.base + extent});
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& a, const Placed& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < placed.size(); ++i) {
+    const Placed& prev = placed[i - 1];
+    const Placed& cur = placed[i];
+    if (cur.begin < prev.end) {
+      emit(out, "address.overlap", Severity::kError,
+           "region '" + cur.region->label + "' [" +
+               std::to_string(cur.begin) + ", " + std::to_string(cur.end) +
+               ") overlaps region '" + prev.region->label + "' [" +
+               std::to_string(prev.begin) + ", " +
+               std::to_string(prev.end) + ")",
+           cur.region->label);
+    }
+  }
+
+  // ---- SPM capacity under each reachable configuration ----
+  const bool scs_reachable =
+      (!plan.sw.has_value() || *plan.sw == runtime::SwConfig::kIP) &&
+      (!plan.hw.has_value() || *plan.hw == sim::HwConfig::kSCS);
+  const bool ps_reachable =
+      (!plan.sw.has_value() || *plan.sw == runtime::SwConfig::kOP) &&
+      (!plan.hw.has_value() || *plan.hw == sim::HwConfig::kPS);
+  const bool any_spm_hw = scs_reachable || ps_reachable;
+  std::size_t tile_spm_bytes = 0;  // per-tile SPM demand (SCS)
+  std::size_t pe_spm_bytes = 0;    // per-PE SPM demand (PS)
+  bool tile_spill_ok = true;
+  bool pe_spill_ok = true;
+  for (const auto& r : regions) {
+    if (!r.spm) continue;
+    if (!any_spm_hw) {
+      emit(out, "address.spm-not-available", Severity::kError,
+           "region '" + r.label + "' is placed in scratchpad but " +
+               (plan.hw.has_value() ? sim::to_string(*plan.hw) : "the plan") +
+               " provides no SPM personality",
+           r.label);
+      continue;
+    }
+    switch (r.scope) {
+      case kernels::RegionScope::kPerTile:
+        tile_spm_bytes += r.bytes;
+        tile_spill_ok = tile_spill_ok && r.spill_ok;
+        break;
+      case kernels::RegionScope::kPerPe:
+        pe_spm_bytes += r.bytes;
+        pe_spill_ok = pe_spill_ok && r.spill_ok;
+        break;
+      case kernels::RegionScope::kGlobal:
+        emit(out, "address.spm-bad-scope", Severity::kError,
+             "region '" + r.label +
+                 "' is SPM-placed with global scope, but scratchpads only "
+                 "exist per tile (SCS) or per PE (PS)",
+             r.label);
+        break;
+    }
+  }
+  const auto spm_overflow = [&](std::size_t demand, std::size_t capacity,
+                                bool spill_ok, const char* config,
+                                const char* unit) {
+    if (demand == 0 || demand <= capacity) return;
+    const std::string msg =
+        "SPM demand of " + std::to_string(demand) + " B per " + unit +
+        " exceeds the " + std::to_string(capacity) + " B available under " +
+        config + " (" + std::to_string(demand - capacity) + " B over)";
+    // Name the largest contributing region for the location.
+    std::string where = "(spm)";
+    std::size_t largest = 0;
+    for (const auto& r : regions) {
+      const bool in_sum =
+          r.spm && ((r.scope == kernels::RegionScope::kPerTile &&
+                     std::string(unit) == "tile") ||
+                    (r.scope == kernels::RegionScope::kPerPe &&
+                     std::string(unit) == "PE"));
+      if (in_sum && r.bytes >= largest) {
+        largest = r.bytes;
+        where = r.label;
+      }
+    }
+    if (spill_ok) {
+      emit(out, "address.spm-spill", Severity::kInfo,
+           msg + "; the kernel spills the excess gracefully", where);
+    } else {
+      emit(out, "address.spm-overflow", Severity::kError, msg, where);
+    }
+  };
+  if (scs_reachable) {
+    spm_overflow(tile_spm_bytes, cfg.scs_spm_bytes_per_tile(), tile_spill_ok,
+                 "SCS", "tile");
+  }
+  if (ps_reachable) {
+    spm_overflow(pe_spm_bytes, cfg.ps_spm_bytes_per_pe(), pe_spill_ok, "PS",
+                 "PE");
+  }
+
+  // ---- bank-conflict hazard under the shared configurations ----
+  // PEs stream contiguous per-PE partitions of the big streamed arrays.
+  // When the partition stride is a multiple of (banks * line), every PE's
+  // concurrent access lands on the same L1 bank and the crossbar
+  // serializes the whole tile.
+  const bool shared_reachable =
+      !plan.sw.has_value() || *plan.sw == runtime::SwConfig::kIP;
+  if (shared_reachable && cfg.num_pes() > 0 && cfg.l1_banks_per_tile() > 1) {
+    const std::size_t bank_stride = cfg.l1_banks_per_tile() * line;
+    for (const auto& r : regions) {
+      if (r.spm || r.scope != kernels::RegionScope::kGlobal) continue;
+      if (r.label.rfind("matrix.", 0) != 0 &&
+          r.label.rfind("output.", 0) != 0) {
+        continue;
+      }
+      const std::size_t stride = r.bytes / cfg.num_pes();
+      if (stride >= line && stride % bank_stride == 0) {
+        emit(out, "address.bank-conflict", Severity::kWarning,
+             "region '" + r.label + "': the per-PE partition stride of " +
+                 std::to_string(stride) + " B is a multiple of banks*line (" +
+                 std::to_string(bank_stride) +
+                 " B), so concurrent PEs contend for one L1 bank under "
+                 "SC/SCS",
+             r.label);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace cosparse::verify

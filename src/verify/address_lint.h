@@ -1,0 +1,27 @@
+// Pass 2: address-map analysis.
+//
+// Checks the plan's allocation regions — explicit, or derived from the
+// dataset shape via kernels::plan_*_regions — without simulating:
+//   * zero-sized regions (AddressMap::of rejects them at run time; the
+//     lint catches them before that);
+//   * overlap between explicitly placed regions, and placement that is
+//     not cache-line aligned;
+//   * SPM capacity per tile/PE under each reachable configuration of
+//     SC/SCS/PC/PS (overflow is an error unless the kernel tolerates
+//     spill for that region, like the OP heap);
+//   * bank-conflict hazards: per-PE partition strides that map every PE
+//     onto the same L1 bank under the shared configurations;
+//   * label hygiene for the canonical "matrix.*"/"vector.*"/"output.*"/
+//     "op.*" scheme the memory profiler attributes by.
+#pragma once
+
+#include <vector>
+
+#include "verify/findings.h"
+#include "verify/plan.h"
+
+namespace cosparse::verify {
+
+[[nodiscard]] std::vector<Finding> lint_address_map(const RunPlan& plan);
+
+}  // namespace cosparse::verify

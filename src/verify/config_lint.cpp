@@ -1,0 +1,180 @@
+#include "verify/config_lint.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace cosparse::verify {
+
+namespace {
+
+constexpr const char* kPass = "config";
+
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+void emit(std::vector<Finding>& out, std::string id, Severity sev,
+          std::string message, Location loc) {
+  out.push_back(Finding{kPass, std::move(id), sev, std::move(message),
+                        std::move(loc)});
+}
+
+}  // namespace
+
+bool is_legal_pair(runtime::SwConfig sw, sim::HwConfig hw) {
+  return (sw == runtime::SwConfig::kIP) == sim::is_shared(hw);
+}
+
+std::vector<Finding> lint_config(const RunPlan& plan) {
+  std::vector<Finding> out;
+  const sim::SystemConfig& cfg = plan.system;
+
+  // ---- SW x HW pair legality (paper Fig. 2: four valid combinations) ----
+  if (plan.sw.has_value() && plan.hw.has_value() &&
+      !is_legal_pair(*plan.sw, *plan.hw)) {
+    emit(out, "config.illegal-pair", Severity::kError,
+         std::string("illegal configuration pair ") + to_string(*plan.sw) +
+             "+" + sim::to_string(*plan.hw) +
+             ": inner product requires a shared hierarchy (SC/SCS), outer "
+             "product a private one (PC/PS)",
+         Location::config_field("kernel.hw"));
+  }
+  if (!plan.sw.has_value() && plan.hw.has_value()) {
+    emit(out, "config.hw-pinned-sw-auto", Severity::kWarning,
+         std::string("hardware pinned to ") + sim::to_string(*plan.hw) +
+             " while the dataflow is decided at runtime: the other dataflow "
+             "would form an illegal pair",
+         Location::config_field("kernel.hw"));
+  }
+
+  // ---- topology ----
+  if (cfg.num_tiles == 0) {
+    emit(out, "config.no-tiles", Severity::kError, "num_tiles is 0",
+         Location::config_field("system.num_tiles"));
+  }
+  if (cfg.pes_per_tile == 0) {
+    emit(out, "config.no-pes", Severity::kError, "pes_per_tile is 0",
+         Location::config_field("system.pes_per_tile"));
+  }
+  if (cfg.freq_ghz <= 0.0) {
+    emit(out, "config.bad-clock", Severity::kError,
+         "freq_ghz must be positive",
+         Location::config_field("system.freq_ghz"));
+  }
+
+  // ---- reconfigurable bank geometry (Table II "RCache") ----
+  if (cfg.bank_bytes == 0) {
+    emit(out, "config.bad-bank", Severity::kError, "bank_bytes is 0",
+         Location::config_field("system.bank_bytes"));
+  }
+  if (cfg.line_bytes == 0) {
+    emit(out, "config.bad-line", Severity::kError, "line_bytes is 0",
+         Location::config_field("system.line_bytes"));
+  }
+  if (cfg.bank_bytes != 0 && cfg.line_bytes != 0) {
+    if (cfg.line_bytes > cfg.bank_bytes) {
+      emit(out, "config.line-exceeds-bank", Severity::kError,
+           "line_bytes (" + std::to_string(cfg.line_bytes) +
+               ") exceeds bank_bytes (" + std::to_string(cfg.bank_bytes) +
+               ")",
+           Location::config_field("system.line_bytes"));
+    } else if (cfg.bank_bytes % cfg.line_bytes != 0) {
+      emit(out, "config.bank-line-mismatch", Severity::kError,
+           "bank_bytes is not a multiple of line_bytes",
+           Location::config_field("system.bank_bytes"));
+    }
+    if (!is_pow2(cfg.line_bytes) || !is_pow2(cfg.bank_bytes)) {
+      emit(out, "config.non-pow2-geometry", Severity::kWarning,
+           "bank_bytes/line_bytes are not powers of two; set indexing "
+           "assumes power-of-two geometry",
+           Location::config_field("system.bank_bytes"));
+    }
+    if (cfg.associativity == 0) {
+      emit(out, "config.bad-associativity", Severity::kError,
+           "associativity is 0",
+           Location::config_field("system.associativity"));
+    } else if (cfg.line_bytes <= cfg.bank_bytes &&
+               cfg.bank_bytes / (cfg.line_bytes * cfg.associativity) == 0) {
+      emit(out, "config.bank-smaller-than-set", Severity::kError,
+           "one bank (" + std::to_string(cfg.bank_bytes) +
+               " B) cannot hold a single " +
+               std::to_string(cfg.associativity) + "-way set of " +
+               std::to_string(cfg.line_bytes) + " B lines",
+           Location::config_field("system.associativity"));
+    }
+  }
+
+  // ---- SCS bank split (L1 banks halved between cache and SPM) ----
+  const bool scs_reachable =
+      !plan.hw.has_value() || *plan.hw == sim::HwConfig::kSCS;
+  if (scs_reachable && cfg.pes_per_tile > 0) {
+    if (cfg.pes_per_tile / 2 == 0) {
+      emit(out, "config.scs-no-spm", Severity::kError,
+           "SCS splits each tile's L1 banks between cache and SPM, but a "
+           "1-PE tile has no bank to give the SPM half",
+           Location::config_field("system.pes_per_tile"));
+    } else if (cfg.pes_per_tile % 2 != 0) {
+      emit(out, "config.scs-odd-split", Severity::kWarning,
+           "pes_per_tile is odd; the SCS cache/SPM split loses one bank",
+           Location::config_field("system.pes_per_tile"));
+    }
+  }
+
+  // ---- main memory ----
+  if (cfg.dram_channels == 0) {
+    emit(out, "config.no-dram-path", Severity::kError,
+         "dram_channels is 0: no tile can reach main memory",
+         Location::config_field("system.dram_channels"));
+  }
+  if (cfg.dram_latency_max < cfg.dram_latency_min) {
+    emit(out, "config.dram-latency-inverted", Severity::kError,
+         "dram_latency_max is below dram_latency_min",
+         Location::config_field("system.dram_latency_max"));
+  }
+
+  // ---- RXBar topology ----
+  if (cfg.xbar_latency < 0.0) {
+    emit(out, "config.bad-xbar-latency", Severity::kError,
+         "xbar_latency is negative",
+         Location::config_field("system.xbar_latency"));
+  }
+  if (cfg.reconfig_cycles < 0.0) {
+    emit(out, "config.bad-reconfig-cost", Severity::kError,
+         "reconfig_cycles is negative",
+         Location::config_field("system.reconfig_cycles"));
+  }
+  if (plan.xbar_tile_ports.has_value()) {
+    std::set<std::uint32_t> ports;
+    for (auto p : *plan.xbar_tile_ports) {
+      if (p >= cfg.num_tiles) {
+        emit(out, "config.unknown-tile-port", Severity::kError,
+             "xbar port names tile " + std::to_string(p) +
+                 " but the system has " + std::to_string(cfg.num_tiles) +
+                 " tiles",
+             Location::config_field("xbar.tile_ports"));
+      } else if (!ports.insert(p).second) {
+        emit(out, "config.duplicate-tile-port", Severity::kWarning,
+             "tile " + std::to_string(p) + " listed twice in xbar.tile_ports",
+             Location::config_field("xbar.tile_ports"));
+      }
+    }
+    for (std::uint32_t t = 0; t < cfg.num_tiles; ++t) {
+      if (ports.count(t) == 0) {
+        emit(out, "config.tile-unreachable", Severity::kError,
+             "tile " + std::to_string(t) +
+                 " has no RXBar port: it cannot reach L2 or main memory",
+             Location::config_field("xbar.tile_ports"));
+      }
+    }
+  }
+
+  // ---- unknown plan fields ----
+  for (const auto& field : plan.unknown_fields) {
+    emit(out, "config.unknown-field", Severity::kWarning,
+         "plan field '" + field +
+             "' is not understood and falls back to the default",
+         Location::config_field(field));
+  }
+  return out;
+}
+
+}  // namespace cosparse::verify

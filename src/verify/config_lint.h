@@ -1,0 +1,24 @@
+// Pass 1: configuration legality.
+//
+// Rejects SW × HW pairs outside the paper's four valid combinations
+// (IP runs shared — SC or SCS; OP runs private — PC or PS), topology and
+// bank-geometry mismatches (zero tiles/PEs, banks smaller than one cache
+// set, lines larger than banks, an SCS split with no SPM bank to give),
+// and RXBar port lists that leave tiles unreachable. Also surfaces plan
+// fields nobody understands (typos would otherwise silently fall back to
+// defaults).
+#pragma once
+
+#include <vector>
+
+#include "verify/findings.h"
+#include "verify/plan.h"
+
+namespace cosparse::verify {
+
+/// True for the four combinations of paper Fig. 2.
+[[nodiscard]] bool is_legal_pair(runtime::SwConfig sw, sim::HwConfig hw);
+
+[[nodiscard]] std::vector<Finding> lint_config(const RunPlan& plan);
+
+}  // namespace cosparse::verify

@@ -1,0 +1,101 @@
+#include "verify/findings.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosparse::verify {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+Severity severity_from_string(std::string_view s) {
+  if (s == "info") return Severity::kInfo;
+  if (s == "warning") return Severity::kWarning;
+  if (s == "error") return Severity::kError;
+  throw Error("unknown severity '" + std::string(s) +
+              "' (expected info, warning or error)");
+}
+
+Json Finding::to_json() const {
+  Json o = Json::object();
+  o["pass"] = pass;
+  o["id"] = id;
+  o["severity"] = to_string(severity);
+  o["message"] = message;
+  Json loc = Json::object();
+  loc["kind"] = location.kind;
+  loc["name"] = location.name;
+  o["location"] = std::move(loc);
+  return o;
+}
+
+Finding finding_from_json(const Json& j) {
+  COSPARSE_REQUIRE(j.is_object(), "finding must be a JSON object");
+  const auto need = [&](const char* key) -> const Json& {
+    const Json* v = j.find(key);
+    COSPARSE_REQUIRE(v != nullptr,
+                     std::string("finding missing field: ") + key);
+    return *v;
+  };
+  Finding f;
+  f.pass = need("pass").as_string();
+  f.id = need("id").as_string();
+  f.severity = severity_from_string(need("severity").as_string());
+  f.message = need("message").as_string();
+  const Json& loc = need("location");
+  COSPARSE_REQUIRE(loc.is_object(), "finding location must be an object");
+  f.location.kind = loc.find("kind") != nullptr
+                        ? loc.find("kind")->as_string()
+                        : std::string("document");
+  f.location.name =
+      loc.find("name") != nullptr ? loc.find("name")->as_string() : "";
+  return f;
+}
+
+void LintReport::add(std::vector<Finding> fs) {
+  for (auto& f : fs) findings_.push_back(std::move(f));
+}
+
+void LintReport::emit(std::string pass, std::string id, Severity sev,
+                      std::string message, Location loc) {
+  findings_.push_back(Finding{std::move(pass), std::move(id), sev,
+                              std::move(message), std::move(loc)});
+}
+
+std::size_t LintReport::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings_.begin(), findings_.end(),
+                    [s](const Finding& f) { return f.severity == s; }));
+}
+
+void LintReport::sort_by_severity() {
+  std::stable_sort(findings_.begin(), findings_.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+}
+
+Json LintReport::to_json() const {
+  Json o = Json::object();
+  o["schema"] = kLintReportSchema;
+  o["subject"] = subject_;
+  Json arr = Json::array();
+  for (const auto& f : findings_) arr.push_back(f.to_json());
+  o["findings"] = std::move(arr);
+  Json summary = Json::object();
+  summary["errors"] = count(Severity::kError);
+  summary["warnings"] = count(Severity::kWarning);
+  summary["infos"] = count(Severity::kInfo);
+  o["summary"] = std::move(summary);
+  return o;
+}
+
+}  // namespace cosparse::verify

@@ -1,0 +1,93 @@
+// Machine-readable static-analysis findings (cosparse.lint_report/v1).
+//
+// Every verify pass emits Findings — a severity, a stable finding id
+// ("config.illegal-pair", "address.spm-overflow", ...), a human-readable
+// message, and a source location naming the config field, region label or
+// decision-tree node the finding is anchored to. A LintReport collects the
+// findings of one linted plan/report and serializes them as a
+// cosparse.lint_report/v1 JSON document; cosparse-lint exits nonzero when
+// a report contains errors so CI can gate on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cosparse::verify {
+
+inline constexpr std::string_view kLintReportSchema = "cosparse.lint_report/v1";
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity s);
+/// Inverse of to_string(); throws cosparse::Error on unknown names.
+[[nodiscard]] Severity severity_from_string(std::string_view s);
+
+/// What a finding is anchored to. `kind` is one of "config_field" (a
+/// dotted path into the run plan, e.g. "system.bank_bytes"), "region"
+/// (an allocation label, e.g. "op.heap"), "tree_node" (a decision-tree
+/// node name, e.g. "ip.scs") or "document" (a path into a linted JSON
+/// document, e.g. "$.tile_stats").
+struct Location {
+  std::string kind;
+  std::string name;
+
+  static Location config_field(std::string name) {
+    return {"config_field", std::move(name)};
+  }
+  static Location region(std::string label) {
+    return {"region", std::move(label)};
+  }
+  static Location tree_node(std::string node) {
+    return {"tree_node", std::move(node)};
+  }
+  static Location document(std::string path) {
+    return {"document", std::move(path)};
+  }
+};
+
+struct Finding {
+  std::string pass;  ///< "config" | "address_map" | "decision_tree" | "schema"
+  std::string id;    ///< stable machine-matchable id, e.g. "tree.gap"
+  Severity severity = Severity::kError;
+  std::string message;
+  Location location;
+
+  [[nodiscard]] Json to_json() const;
+};
+[[nodiscard]] Finding finding_from_json(const Json& j);
+
+/// The findings of one linted subject, ordered most-severe first.
+class LintReport {
+ public:
+  explicit LintReport(std::string subject) : subject_(std::move(subject)) {}
+
+  void add(Finding f) { findings_.push_back(std::move(f)); }
+  void add(std::vector<Finding> fs);
+  void emit(std::string pass, std::string id, Severity sev,
+            std::string message, Location loc);
+
+  [[nodiscard]] const std::string& subject() const { return subject_; }
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::kError); }
+  /// No errors (warnings/infos permitted).
+  [[nodiscard]] bool clean() const { return errors() == 0; }
+
+  /// Orders findings by descending severity (stable within a severity).
+  void sort_by_severity();
+
+  /// cosparse.lint_report/v1: schema, subject, findings, summary counts.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::string subject_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace cosparse::verify

@@ -1,0 +1,240 @@
+#include "verify/plan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosparse::verify {
+
+namespace {
+
+void parse_dataset(const Json& j, RunPlan& plan) {
+  COSPARSE_REQUIRE(j.is_object(), "plan dataset must be a JSON object");
+  bool frontier_given = false;
+  for (const auto& [key, value] : j.members()) {
+    if (key == "vertices") {
+      plan.dataset.dimension = static_cast<Index>(value.as_int());
+    } else if (key == "edges") {
+      plan.dataset.matrix_nnz = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "max_frontier_nnz") {
+      plan.dataset.frontier_nnz = static_cast<std::size_t>(value.as_int());
+      frontier_given = true;
+    } else {
+      plan.unknown_fields.push_back("dataset." + key);
+    }
+  }
+  if (!frontier_given) {
+    // Worst case: every vertex active.
+    plan.dataset.frontier_nnz = plan.dataset.dimension;
+  }
+}
+
+void parse_kernel(const Json& j, RunPlan& plan) {
+  COSPARSE_REQUIRE(j.is_object(), "plan kernel must be a JSON object");
+  for (const auto& [key, value] : j.members()) {
+    if (key == "sw") {
+      if (value.as_string() != "auto") {
+        plan.sw = runtime::sw_config_from_string(value.as_string());
+      }
+    } else if (key == "hw") {
+      if (value.as_string() != "auto") {
+        plan.hw = sim::hw_config_from_string(value.as_string());
+      }
+    } else if (key == "vblocked") {
+      plan.vblocked = value.as_bool();
+    } else {
+      plan.unknown_fields.push_back("kernel." + key);
+    }
+  }
+}
+
+void parse_thresholds(const Json& j, RunPlan& plan) {
+  COSPARSE_REQUIRE(j.is_object(), "plan thresholds must be a JSON object");
+  runtime::Thresholds& t = plan.thresholds;
+  for (const auto& [key, value] : j.members()) {
+    if (key == "cvd_coefficient") {
+      t.cvd_coefficient = value.as_double();
+    } else if (key == "matrix_density_exponent") {
+      t.matrix_density_exponent = value.as_double();
+    } else if (key == "matrix_density_reference") {
+      t.matrix_density_reference = value.as_double();
+    } else if (key == "cvd_min") {
+      t.cvd_min = value.as_double();
+    } else if (key == "cvd_max") {
+      t.cvd_max = value.as_double();
+    } else if (key == "scs_density") {
+      t.scs_density = value.as_double();
+    } else if (key == "ps_list_fraction") {
+      t.ps_list_fraction = value.as_double();
+    } else {
+      plan.unknown_fields.push_back("thresholds." + key);
+    }
+  }
+}
+
+void parse_regions(const Json& j, RunPlan& plan) {
+  COSPARSE_REQUIRE(j.is_array(), "plan regions must be a JSON array");
+  std::vector<kernels::PlannedRegion> regions;
+  for (const Json& rj : j.items()) {
+    COSPARSE_REQUIRE(rj.is_object(), "plan region must be a JSON object");
+    kernels::PlannedRegion r;
+    const Json* label = rj.find("label");
+    COSPARSE_REQUIRE(label != nullptr, "plan region missing field: label");
+    r.label = label->as_string();
+    const Json* bytes = rj.find("bytes");
+    COSPARSE_REQUIRE(bytes != nullptr, "plan region missing field: bytes");
+    COSPARSE_REQUIRE(bytes->as_int() >= 0, "plan region bytes negative");
+    r.bytes = static_cast<std::size_t>(bytes->as_int());
+    if (const Json* scope = rj.find("scope"); scope != nullptr) {
+      r.scope = kernels::region_scope_from_string(scope->as_string());
+    }
+    if (const Json* spm = rj.find("spm"); spm != nullptr) {
+      r.spm = spm->as_bool();
+    }
+    if (const Json* spill = rj.find("spill_ok"); spill != nullptr) {
+      r.spill_ok = spill->as_bool();
+    }
+    if (const Json* base = rj.find("base"); base != nullptr) {
+      r.base = static_cast<Addr>(base->as_int());
+    }
+    regions.push_back(std::move(r));
+  }
+  plan.regions = std::move(regions);
+}
+
+void parse_xbar(const Json& j, RunPlan& plan) {
+  COSPARSE_REQUIRE(j.is_object(), "plan xbar must be a JSON object");
+  for (const auto& [key, value] : j.members()) {
+    if (key == "tile_ports") {
+      COSPARSE_REQUIRE(value.is_array(), "xbar tile_ports must be an array");
+      std::vector<std::uint32_t> ports;
+      for (const Json& p : value.items()) {
+        ports.push_back(static_cast<std::uint32_t>(p.as_int()));
+      }
+      plan.xbar_tile_ports = std::move(ports);
+    } else {
+      plan.unknown_fields.push_back("xbar." + key);
+    }
+  }
+}
+
+}  // namespace
+
+double RunPlan::matrix_density() const {
+  if (dataset.dimension == 0) return 0.0;
+  const double n = static_cast<double>(dataset.dimension);
+  return static_cast<double>(dataset.matrix_nnz) / (n * n);
+}
+
+RunPlan RunPlan::from_json(const Json& doc) {
+  COSPARSE_REQUIRE(doc.is_object(), "run plan must be a JSON object");
+  RunPlan plan;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "schema") {
+      COSPARSE_REQUIRE(value.as_string() == kRunPlanSchema,
+                       "unexpected plan schema: " + value.as_string());
+    } else if (key == "name") {
+      plan.name = value.as_string();
+    } else if (key == "system") {
+      std::vector<std::string> unknown;
+      plan.system = sim::system_config_from_json(value, &unknown);
+      for (auto& u : unknown) {
+        plan.unknown_fields.push_back("system." + u);
+      }
+    } else if (key == "xbar") {
+      parse_xbar(value, plan);
+    } else if (key == "dataset") {
+      parse_dataset(value, plan);
+    } else if (key == "kernel") {
+      parse_kernel(value, plan);
+    } else if (key == "thresholds") {
+      parse_thresholds(value, plan);
+    } else if (key == "decision_tree") {
+      plan.tree = runtime::DecisionTreeSpec::from_json(value);
+    } else if (key == "regions") {
+      parse_regions(value, plan);
+    } else {
+      plan.unknown_fields.push_back(key);
+    }
+  }
+  return plan;
+}
+
+Json RunPlan::to_json() const {
+  Json o = Json::object();
+  o["schema"] = kRunPlanSchema;
+  o["name"] = name;
+  o["system"] = system.to_json();
+  if (xbar_tile_ports.has_value()) {
+    Json ports = Json::array();
+    for (auto p : *xbar_tile_ports) ports.push_back(p);
+    Json xbar = Json::object();
+    xbar["tile_ports"] = std::move(ports);
+    o["xbar"] = std::move(xbar);
+  }
+  Json ds = Json::object();
+  ds["vertices"] = dataset.dimension;
+  ds["edges"] = dataset.matrix_nnz;
+  ds["max_frontier_nnz"] = dataset.frontier_nnz;
+  o["dataset"] = std::move(ds);
+  Json kernel = Json::object();
+  kernel["sw"] = sw.has_value() ? to_string(*sw) : "auto";
+  kernel["hw"] = hw.has_value() ? sim::to_string(*hw) : "auto";
+  kernel["vblocked"] = vblocked;
+  o["kernel"] = std::move(kernel);
+  Json th = Json::object();
+  th["cvd_coefficient"] = thresholds.cvd_coefficient;
+  th["matrix_density_exponent"] = thresholds.matrix_density_exponent;
+  th["matrix_density_reference"] = thresholds.matrix_density_reference;
+  th["cvd_min"] = thresholds.cvd_min;
+  th["cvd_max"] = thresholds.cvd_max;
+  th["scs_density"] = thresholds.scs_density;
+  th["ps_list_fraction"] = thresholds.ps_list_fraction;
+  o["thresholds"] = std::move(th);
+  if (tree.has_value()) o["decision_tree"] = tree->to_json();
+  if (regions.has_value()) {
+    Json arr = Json::array();
+    for (const auto& r : *regions) {
+      Json rj = Json::object();
+      rj["label"] = r.label;
+      rj["bytes"] = r.bytes;
+      rj["scope"] = kernels::to_string(r.scope);
+      rj["spm"] = r.spm;
+      rj["spill_ok"] = r.spill_ok;
+      if (r.base.has_value()) rj["base"] = *r.base;
+      arr.push_back(std::move(rj));
+    }
+    o["regions"] = std::move(arr);
+  }
+  return o;
+}
+
+runtime::DecisionTreeSpec RunPlan::effective_tree() const {
+  if (tree.has_value()) return *tree;
+  return runtime::export_decision_tree(system, thresholds, dataset.dimension,
+                                       matrix_density());
+}
+
+std::vector<kernels::PlannedRegion> RunPlan::effective_regions() const {
+  if (regions.has_value()) return *regions;
+  std::vector<kernels::PlannedRegion> out;
+  const bool want_ip = !sw.has_value() || *sw == runtime::SwConfig::kIP;
+  const bool want_op = !sw.has_value() || *sw == runtime::SwConfig::kOP;
+  if (want_ip) {
+    // The SCS SPM segment only exists when SCS is reachable (pinned to it,
+    // or left to the runtime).
+    const bool scs = !hw.has_value() || *hw == sim::HwConfig::kSCS;
+    for (auto& r : kernels::plan_ip_regions(system, dataset, scs, vblocked)) {
+      out.push_back(std::move(r));
+    }
+  }
+  if (want_op) {
+    const bool ps = !hw.has_value() || *hw == sim::HwConfig::kPS;
+    for (auto& r : kernels::plan_op_regions(system, dataset, ps)) {
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace cosparse::verify

@@ -1,0 +1,69 @@
+// Run plans (cosparse.run_plan/v1): everything cosparse-lint needs to
+// verify a run before executing it.
+//
+// A plan is a small JSON document naming the machine configuration, the
+// dataset shape, the kernel choice (pinned or "auto") and, optionally,
+// explicit threshold overrides, a hand-written decision tree, explicit
+// allocation regions and an RXBar port list. Absent sections default to
+// what the runtime would do: SystemConfig defaults, thresholds from
+// runtime::Thresholds{}, regions derived via kernels::plan_*_regions and
+// the tree derived via runtime::export_decision_tree. Examples ship their
+// default plans under examples/plans/ and CI lints every one of them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "kernels/region_plan.h"
+#include "runtime/decision.h"
+#include "runtime/tree_export.h"
+#include "sim/config.h"
+
+namespace cosparse::verify {
+
+inline constexpr std::string_view kRunPlanSchema = "cosparse.run_plan/v1";
+
+struct RunPlan {
+  std::string name = "unnamed";
+  sim::SystemConfig system;
+  /// Tiles wired to an RXBar port. Absent = full crossbar (all tiles).
+  std::optional<std::vector<std::uint32_t>> xbar_tile_ports;
+
+  kernels::PlanShape dataset;
+  [[nodiscard]] double matrix_density() const;
+
+  /// Pinned dataflow / memory configuration; nullopt = decided at runtime.
+  std::optional<runtime::SwConfig> sw;
+  std::optional<sim::HwConfig> hw;
+  bool vblocked = true;
+
+  runtime::Thresholds thresholds;
+  /// Hand-written decision tree; absent = derived from the thresholds.
+  std::optional<runtime::DecisionTreeSpec> tree;
+  /// Explicit allocation regions; absent = derived from the dataset shape.
+  std::optional<std::vector<kernels::PlannedRegion>> regions;
+
+  /// Field names present in the document but understood by nobody —
+  /// collected during parsing, reported by the config pass.
+  std::vector<std::string> unknown_fields;
+
+  /// Throws cosparse::Error on structurally malformed documents (wrong
+  /// types, unknown enum names). Unknown *fields* are tolerated and
+  /// collected instead, so a typo'd threshold becomes a lint finding
+  /// rather than a hard failure.
+  static RunPlan from_json(const Json& doc);
+  [[nodiscard]] Json to_json() const;
+
+  /// The decision tree to analyze: the explicit one when present,
+  /// otherwise derived for this plan's system/thresholds/dataset.
+  [[nodiscard]] runtime::DecisionTreeSpec effective_tree() const;
+
+  /// The regions to analyze: explicit when present, otherwise the union
+  /// of what the planned kernels would allocate (both dataflows when the
+  /// software configuration is "auto").
+  [[nodiscard]] std::vector<kernels::PlannedRegion> effective_regions() const;
+};
+
+}  // namespace cosparse::verify

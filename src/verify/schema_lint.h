@@ -1,0 +1,23 @@
+// Pass 4: report/audit schema lint.
+//
+// Validates a cosparse.run_report/v1 document structurally and checks its
+// cross-section invariants: per-tile stats sum to the global stats,
+// memory-profile regions sum to the profile totals (which in turn match
+// the shared global counters bit-exactly), iteration records carry the
+// mandatory fields, and every decision-audit record numbers sequentially
+// and marks exactly one chosen counterfactual. This is the same contract
+// the check_report CLI and the observability unit tests enforce — they
+// now both delegate here, so the CLI, the tests, and cosparse-lint cannot
+// drift apart.
+#pragma once
+
+#include <vector>
+
+#include "common/json.h"
+#include "verify/findings.h"
+
+namespace cosparse::verify {
+
+[[nodiscard]] std::vector<Finding> lint_run_report(const Json& doc);
+
+}  // namespace cosparse::verify

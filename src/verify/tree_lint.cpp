@@ -1,0 +1,248 @@
+#include "verify/tree_lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "runtime/calibrate.h"
+#include "verify/config_lint.h"
+
+namespace cosparse::verify {
+
+namespace {
+
+constexpr const char* kPass = "decision_tree";
+
+void emit(std::vector<Finding>& out, std::string id, Severity sev,
+          std::string message, Location loc) {
+  out.push_back(Finding{kPass, std::move(id), sev, std::move(message),
+                        std::move(loc)});
+}
+
+std::string fmt(double v) {
+  if (std::isinf(v)) return "inf";
+  std::string s = std::to_string(v);
+  // Trim trailing zeros for readability.
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+void lint_thresholds(const RunPlan& plan, std::vector<Finding>& out) {
+  const runtime::Thresholds& t = plan.thresholds;
+  const sim::SystemConfig& cfg = plan.system;
+
+  if (t.cvd_min > t.cvd_max) {
+    emit(out, "tree.empty-clamp", Severity::kError,
+         "cvd_min (" + fmt(t.cvd_min) + ") exceeds cvd_max (" +
+             fmt(t.cvd_max) + "): the CVD clamp window is empty",
+         Location::config_field("thresholds.cvd_min"));
+  }
+  if (t.cvd_min < 0.0 || t.cvd_max > 1.0) {
+    emit(out, "tree.clamp-out-of-range", Severity::kWarning,
+         "the CVD clamp window [" + fmt(t.cvd_min) + ", " + fmt(t.cvd_max) +
+             "] reaches outside the density domain [0, 1]",
+         Location::config_field("thresholds.cvd_max"));
+  }
+  if (t.scs_density < 0.0 || t.scs_density > 1.0) {
+    emit(out, "tree.scs-out-of-range", Severity::kWarning,
+         "scs_density " + fmt(t.scs_density) +
+             " lies outside the density domain [0, 1]; one SCS/SC branch "
+             "can never trigger",
+         Location::config_field("thresholds.scs_density"));
+  }
+  if (t.ps_list_fraction <= 0.0) {
+    emit(out, "tree.ps-budget-empty", Severity::kError,
+         "ps_list_fraction " + fmt(t.ps_list_fraction) +
+             " leaves no PS budget: the PC branch can never be chosen",
+         Location::config_field("thresholds.ps_list_fraction"));
+  } else if (t.ps_list_fraction > 1.0) {
+    emit(out, "tree.ps-budget-exceeds-bank", Severity::kError,
+         "ps_list_fraction " + fmt(t.ps_list_fraction) +
+             " budgets more than one private L1 bank (" +
+             std::to_string(cfg.bank_bytes) +
+             " B) per PE — contradicting the physical capacity that "
+             "runtime::calibrate and the PS kernel assume",
+         Location::config_field("thresholds.ps_list_fraction"));
+  }
+
+  if (cfg.pes_per_tile > 0) {
+    // The raw (unclamped) CVD model value; when the clamp binds, the
+    // published coefficient is not what actually decides.
+    double raw = t.cvd_coefficient / static_cast<double>(cfg.pes_per_tile);
+    const double md = plan.matrix_density();
+    if (md > 0.0) {
+      raw *= std::pow(t.matrix_density_reference / md,
+                      t.matrix_density_exponent);
+    }
+    if (t.cvd_min <= t.cvd_max && (raw < t.cvd_min || raw > t.cvd_max)) {
+      emit(out, "tree.cvd-clamp-binds", Severity::kInfo,
+           "the modeled CVD " + fmt(raw) + " is clamped to [" +
+               fmt(t.cvd_min) + ", " + fmt(t.cvd_max) +
+               "]; cvd_coefficient does not decide for this plan",
+           Location::config_field("thresholds.cvd_coefficient"));
+    }
+    // Thresholds::cvd clamps with std::clamp, whose behavior is undefined
+    // for an inverted window — only evaluate it when the window is sane.
+    if (t.cvd_min > t.cvd_max) return;
+    const double cvd = t.cvd(cfg.pes_per_tile, md);
+    const runtime::CalibrationOptions calib;
+    if (cvd < calib.density_lo || cvd > calib.density_hi) {
+      emit(out, "tree.cvd-outside-calibration", Severity::kWarning,
+           "the effective CVD " + fmt(cvd) +
+               " lies outside runtime::calibrate's search bracket [" +
+               fmt(calib.density_lo) + ", " + fmt(calib.density_hi) +
+               "], so calibrate_cvd cannot reproduce or validate it",
+           Location::config_field("thresholds.cvd_coefficient"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_decision_tree(const RunPlan& plan) {
+  std::vector<Finding> out;
+  lint_thresholds(plan, out);
+
+  if (plan.dataset.dimension == 0) {
+    emit(out, "tree.no-dataset", Severity::kError,
+         "dataset.vertices is 0: the density feature is undefined and the "
+         "tree cannot be analyzed",
+         Location::config_field("dataset.vertices"));
+    return out;
+  }
+
+  if (!plan.tree.has_value() &&
+      plan.thresholds.cvd_min > plan.thresholds.cvd_max) {
+    // Deriving a tree evaluates Thresholds::cvd, which std::clamp's with
+    // the inverted (undefined-behavior) window already reported above.
+    return out;
+  }
+  const runtime::DecisionTreeSpec spec = plan.effective_tree();
+  if (spec.rules.empty()) {
+    emit(out, "tree.gap", Severity::kError,
+         "the decision tree has no rules: no point of the feature space "
+         "maps to a configuration",
+         Location::tree_node("(root)"));
+    return out;
+  }
+
+  // ---- per-rule checks ----
+  // In a tree the linter derived itself, an empty branch is a property of
+  // this dataset/threshold combination (e.g. the PS list always fits), not
+  // a plan author's mistake — report it as info, not warning.
+  const Severity unreachable_sev =
+      plan.tree.has_value() ? Severity::kWarning : Severity::kInfo;
+  for (const auto& r : spec.rules) {
+    if (!is_legal_pair(r.sw, r.hw)) {
+      emit(out, "tree.illegal-pair", Severity::kError,
+           std::string("node '") + r.node + "' selects " + to_string(r.sw) +
+               "+" + sim::to_string(r.hw) +
+               ", which is outside the four valid combinations",
+           Location::tree_node(r.node));
+    }
+    const double dlo = std::max(0.0, r.density.lo);
+    const double dhi = std::min(1.0, r.density.hi);
+    if (r.density.empty() || r.footprint.empty() || dlo >= dhi) {
+      emit(out, "tree.unreachable-branch", unreachable_sev,
+           std::string("node '") + r.node +
+               "' covers no point of density [0, 1] x footprint [0, inf): "
+               "the branch is unreachable",
+           Location::tree_node(r.node));
+    }
+  }
+
+  // ---- exhaustive interval partition of (density, footprint) ----
+  // Axis-aligned rules make an elementary decomposition exact: one sample
+  // per elementary cell decides the whole cell.
+  std::set<double> dset{0.0, 1.0};
+  std::set<double> fset{0.0};
+  for (const auto& r : spec.rules) {
+    for (double b : {r.density.lo, r.density.hi}) {
+      if (b > 0.0 && b < 1.0) dset.insert(b);
+    }
+    for (double b : {r.footprint.lo, r.footprint.hi}) {
+      if (b > 0.0 && !std::isinf(b)) fset.insert(b);
+    }
+  }
+  const std::vector<double> dbp(dset.begin(), dset.end());
+  std::vector<double> fsamples;
+  {
+    const std::vector<double> fbp(fset.begin(), fset.end());
+    for (std::size_t i = 0; i + 1 < fbp.size(); ++i) {
+      fsamples.push_back((fbp[i] + fbp[i + 1]) / 2.0);
+    }
+    fsamples.push_back(fbp.back() + 1.0);  // the unbounded top cell
+  }
+
+  std::set<std::string> emitted;  // dedupe identical gap/overlap messages
+  const auto once = [&](std::string id, Severity sev, std::string message,
+                        Location loc) {
+    if (emitted.insert(id + "|" + message).second) {
+      emit(out, std::move(id), sev, std::move(message), std::move(loc));
+    }
+  };
+  for (double fp : fsamples) {
+    for (std::size_t i = 0; i + 1 < dbp.size(); ++i) {
+      const double d = (dbp[i] + dbp[i + 1]) / 2.0;
+      std::vector<const runtime::TreeRule*> hits;
+      for (const auto& r : spec.rules) {
+        if (r.covers(d, fp)) hits.push_back(&r);
+      }
+      const std::string cell = "density [" + fmt(dbp[i]) + ", " +
+                               fmt(dbp[i + 1]) + ") at footprint " + fmt(fp) +
+                               " B";
+      if (hits.empty()) {
+        once("tree.gap", Severity::kError,
+             "no rule covers " + cell + ": the runtime has no "
+             "configuration to pick there",
+             Location::tree_node("(gap)"));
+      } else if (hits.size() > 1) {
+        const bool same_config =
+            std::all_of(hits.begin(), hits.end(),
+                        [&](const runtime::TreeRule* r) {
+                          return r->sw == hits[0]->sw && r->hw == hits[0]->hw;
+                        });
+        std::string nodes;
+        for (const auto* h : hits) {
+          if (!nodes.empty()) nodes += ", ";
+          nodes += "'" + h->node + "'";
+        }
+        if (same_config) {
+          once("tree.redundant-rules", Severity::kWarning,
+               "rules " + nodes + " all cover " + cell +
+                   " with the same configuration",
+               Location::tree_node(hits[0]->node));
+        } else {
+          once("tree.overlap", Severity::kError,
+               "rules " + nodes + " cover " + cell +
+                   " with different configurations: the decision is "
+                   "ambiguous",
+               Location::tree_node(hits[1]->node));
+        }
+      }
+    }
+  }
+
+  // ---- branches this dataset can never exercise ----
+  const auto fp_actual = static_cast<double>(
+      runtime::vector_footprint_bytes(plan.dataset.dimension));
+  for (const auto& r : spec.rules) {
+    const double dlo = std::max(0.0, r.density.lo);
+    const double dhi = std::min(1.0, r.density.hi);
+    if (r.density.empty() || r.footprint.empty() || dlo >= dhi) continue;
+    if (!r.footprint.contains(fp_actual)) {
+      emit(out, "tree.not-exercised", Severity::kInfo,
+           std::string("node '") + r.node +
+               "' requires a vector footprint in [" + fmt(r.footprint.lo) +
+               ", " + fmt(r.footprint.hi) + ") B but this dataset's is " +
+               fmt(fp_actual) + " B; the branch cannot trigger here",
+           Location::tree_node(r.node));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace cosparse::verify

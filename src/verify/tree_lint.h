@@ -1,0 +1,27 @@
+// Pass 3: decision-tree analysis.
+//
+// Operates on the analyzable tree form (runtime/tree_export.h) — derived
+// from the plan's thresholds or hand-written in the plan. Because every
+// rule is an axis-aligned box over (density, footprint), an elementary-
+// interval decomposition is exhaustive: collect all rule boundaries on
+// each axis, and sampling one midpoint per elementary cell decides
+// coverage for the *whole* cell. The pass proves that every point of
+// density [0,1] x footprint [0,inf) maps to exactly one configuration
+// (gaps and overlaps are errors), flags unreachable branches (empty
+// boxes, or boxes outside the feature domain), rejects rules whose
+// (SW, HW) pair is illegal, and cross-checks the thresholds against the
+// capacity constants runtime::calibrate assumes (a PS budget beyond the
+// physical bank, a CVD clamp window that is empty or outside the
+// calibration search bracket).
+#pragma once
+
+#include <vector>
+
+#include "verify/findings.h"
+#include "verify/plan.h"
+
+namespace cosparse::verify {
+
+[[nodiscard]] std::vector<Finding> lint_decision_tree(const RunPlan& plan);
+
+}  // namespace cosparse::verify

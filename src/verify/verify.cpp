@@ -1,0 +1,41 @@
+#include "verify/verify.h"
+
+#include "common/error.h"
+#include "verify/address_lint.h"
+#include "verify/config_lint.h"
+#include "verify/schema_lint.h"
+#include "verify/tree_lint.h"
+
+namespace cosparse::verify {
+
+LintReport lint_plan(const RunPlan& plan) {
+  LintReport report(plan.name);
+  report.add(lint_config(plan));
+  report.add(lint_address_map(plan));
+  report.add(lint_decision_tree(plan));
+  report.sort_by_severity();
+  return report;
+}
+
+LintReport lint_plan_json(const Json& doc, const std::string& subject) {
+  RunPlan plan;
+  try {
+    plan = RunPlan::from_json(doc);
+  } catch (const Error& e) {
+    LintReport report(subject);
+    report.add(Finding{"plan", "plan.malformed", Severity::kError, e.what(),
+                       Location::document("(root)")});
+    return report;
+  }
+  if (plan.name.empty() || plan.name == "unnamed") plan.name = subject;
+  return lint_plan(plan);
+}
+
+LintReport lint_run_report_json(const Json& doc, const std::string& subject) {
+  LintReport report(subject);
+  report.add(lint_run_report(doc));
+  report.sort_by_severity();
+  return report;
+}
+
+}  // namespace cosparse::verify

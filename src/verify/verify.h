@@ -1,0 +1,30 @@
+// cosparse-lint driver: runs every static pass over a run plan (or a run
+// report) and aggregates the findings into one cosparse.lint_report/v1
+// document. Nothing here executes the simulator — the passes reason about
+// the plan's config, derived address regions, and decision tree alone.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "verify/findings.h"
+#include "verify/plan.h"
+
+namespace cosparse::verify {
+
+// All four plan passes: config legality, address-map analysis,
+// decision-tree analysis. (The report-schema pass applies to run reports,
+// not plans; see lint_run_report_json.)
+[[nodiscard]] LintReport lint_plan(const RunPlan& plan);
+
+// Parses and lints a plan document. Structural errors (bad JSON shape,
+// wrong schema) become findings rather than exceptions, so a CI gate
+// always gets a report back.
+[[nodiscard]] LintReport lint_plan_json(const Json& doc,
+                                        const std::string& subject);
+
+// Schema pass over a cosparse.run_report/v1 document.
+[[nodiscard]] LintReport lint_run_report_json(const Json& doc,
+                                              const std::string& subject);
+
+}  // namespace cosparse::verify

@@ -1,170 +1,25 @@
 // Validation helper for cosparse.run_report/v1 documents.
 //
 // Shared by the unit tests and the check_report CLI (the CTest smoke test
-// pipes a real quickstart report through it). Returns "" when the document
-// conforms, otherwise a human-readable description of the first violation.
+// pipes a real quickstart report through it). The checks themselves live
+// in the verify subsystem (src/verify/schema_lint.h) so check_report, the
+// unit tests and `cosparse-lint report` all enforce the same contract;
+// this wrapper keeps the historical first-violation string interface.
+// Returns "" when the document conforms, otherwise a human-readable
+// description of the first violation.
 #pragma once
 
-#include <cmath>
 #include <string>
 
 #include "common/json.h"
-#include "obs/report.h"
+#include "verify/schema_lint.h"
 
 namespace cosparse::obs::testing {
 
 inline std::string check_report(const Json& doc) {
-  if (!doc.is_object()) return "report is not a JSON object";
-
-  const Json* schema = doc.find("schema");
-  if (schema == nullptr || !schema->is_string()) {
-    return "missing string field: schema";
+  for (const auto& f : cosparse::verify::lint_run_report(doc)) {
+    if (f.severity == cosparse::verify::Severity::kError) return f.message;
   }
-  if (schema->as_string() != kReportSchema) {
-    return "unexpected schema: " + schema->as_string();
-  }
-  const Json* tool = doc.find("tool");
-  if (tool == nullptr || !tool->is_string() || tool->as_string().empty()) {
-    return "missing/empty string field: tool";
-  }
-
-  // Optional sections, validated when present.
-  if (const Json* stats = doc.find("stats"); stats != nullptr) {
-    if (!stats->is_object()) return "stats is not an object";
-    const Json* tiles = doc.find("tile_stats");
-    if (tiles != nullptr) {
-      if (!tiles->is_array()) return "tile_stats is not an array";
-      // The element-wise sum over tiles must reproduce the global stats:
-      // exactly for integer counters, to rounding for cycle doubles.
-      for (const auto& [name, global] : stats->members()) {
-        if (global.type() == Json::Type::kInt) {
-          std::int64_t sum = 0;
-          for (const Json& tile : tiles->items()) {
-            const Json* v = tile.find(name);
-            if (v == nullptr) return "tile_stats missing counter: " + name;
-            sum += v->as_int();
-          }
-          if (sum != global.as_int()) {
-            return "tile_stats do not sum to stats for counter: " + name;
-          }
-        } else {
-          double sum = 0.0;
-          for (const Json& tile : tiles->items()) {
-            const Json* v = tile.find(name);
-            if (v == nullptr) return "tile_stats missing counter: " + name;
-            sum += v->as_double();
-          }
-          const double g = global.as_double();
-          const double tol = 1e-6 * std::max(1.0, std::abs(g));
-          if (std::abs(sum - g) > tol) {
-            return "tile_stats do not sum to stats for counter: " + name;
-          }
-        }
-      }
-    }
-  }
-
-  if (const Json* iters = doc.find("iterations"); iters != nullptr) {
-    if (!iters->is_array()) return "iterations is not an array";
-    for (const Json& it : iters->items()) {
-      for (const char* key :
-           {"index", "frontier_nnz", "density", "sw", "hw", "cycles"}) {
-        if (it.find(key) == nullptr) {
-          return std::string("iteration record missing field: ") + key;
-        }
-      }
-      const std::string& sw = it.find("sw")->as_string();
-      if (sw != "IP" && sw != "OP") return "bad iteration sw: " + sw;
-    }
-  }
-
-  if (const Json* totals = doc.find("totals"); totals != nullptr) {
-    if (!totals->is_object()) return "totals is not an object";
-    const Json* cycles = totals->find("cycles");
-    if (cycles == nullptr || !cycles->is_number()) {
-      return "totals missing number field: cycles";
-    }
-  }
-
-  if (const Json* prof = doc.find("memory_profile"); prof != nullptr) {
-    if (!prof->is_object()) return "memory_profile is not an object";
-    const Json* ptotals = prof->find("totals");
-    const Json* regions = prof->find("regions");
-    if (ptotals == nullptr || !ptotals->is_object()) {
-      return "memory_profile missing object field: totals";
-    }
-    if (regions == nullptr || !regions->is_object()) {
-      return "memory_profile missing object field: regions";
-    }
-    for (const auto& [name, total] : ptotals->members()) {
-      // Region sums reproduce the profile totals (exactly for integer
-      // counters, to rounding for the stall-cycle doubles).
-      if (total.type() == Json::Type::kInt) {
-        std::int64_t sum = 0;
-        for (const auto& [label, region] : regions->members()) {
-          const Json* counters = region.find("counters");
-          if (counters == nullptr) {
-            return "memory_profile region missing counters: " + label;
-          }
-          const Json* v = counters->find(name);
-          if (v == nullptr) {
-            return "memory_profile region missing counter: " + name;
-          }
-          sum += v->as_int();
-        }
-        if (sum != total.as_int()) {
-          return "memory_profile regions do not sum to totals for counter: " +
-                 name;
-        }
-      }
-      // Profile totals reproduce the global stats bit-exactly for every
-      // counter name the two sections share (the MemProfiler invariant).
-      if (const Json* stats = doc.find("stats"); stats != nullptr) {
-        const Json* g = stats->find(name);
-        if (g != nullptr && total.type() == Json::Type::kInt &&
-            g->type() == Json::Type::kInt &&
-            total.as_int() != g->as_int()) {
-          return "memory_profile total diverges from stats counter: " + name;
-        }
-      }
-    }
-  }
-
-  if (const Json* audit = doc.find("decision_audit"); audit != nullptr) {
-    if (!audit->is_object()) return "decision_audit is not an object";
-    const Json* invs = audit->find("invocations");
-    if (invs == nullptr || !invs->is_array()) {
-      return "decision_audit missing array field: invocations";
-    }
-    std::uint32_t expected = 0;
-    for (const Json& rec : invs->items()) {
-      for (const char* key :
-           {"invocation", "forced_sw", "features", "checks", "sw", "hw",
-            "cvd", "counterfactuals"}) {
-        if (rec.find(key) == nullptr) {
-          return std::string("decision record missing field: ") + key;
-        }
-      }
-      if (static_cast<std::uint32_t>(rec.find("invocation")->as_int()) !=
-          expected++) {
-        return "decision records are not sequentially numbered";
-      }
-      const Json* cfs = rec.find("counterfactuals");
-      if (!cfs->is_array() || cfs->size() != 4) {
-        return "decision record must carry 4 counterfactuals";
-      }
-      std::size_t chosen = 0;
-      for (const Json& cf : cfs->items()) {
-        const Json* flag = cf.find("chosen");
-        if (flag == nullptr) return "counterfactual missing field: chosen";
-        if (flag->as_bool()) ++chosen;
-      }
-      if (chosen != 1) {
-        return "decision record must mark exactly one chosen counterfactual";
-      }
-    }
-  }
-
   return "";
 }
 

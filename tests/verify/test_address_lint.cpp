@@ -1,0 +1,170 @@
+#include "verify/address_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cosparse::verify {
+namespace {
+
+using kernels::PlannedRegion;
+using kernels::RegionScope;
+
+RunPlan base_plan() {
+  RunPlan plan;
+  plan.system = sim::SystemConfig::transmuter(2, 4);
+  plan.dataset = {1000, 8000, 1000};
+  return plan;
+}
+
+bool has(const std::vector<Finding>& fs, const std::string& id) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.id == id; });
+}
+
+// By value: callers pass freshly returned vectors, so a reference into
+// the argument would dangle past the full expression.
+Finding get(const std::vector<Finding>& fs, const std::string& id) {
+  const auto it = std::find_if(fs.begin(), fs.end(),
+                               [&](const Finding& f) { return f.id == id; });
+  EXPECT_NE(it, fs.end()) << "missing finding " << id;
+  return it == fs.end() ? Finding{} : *it;
+}
+
+TEST(AddressLint, DerivedRegionsLintWithoutErrors) {
+  const auto fs = lint_address_map(base_plan());
+  EXPECT_TRUE(std::none_of(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.severity == Severity::kError;
+  }));
+}
+
+TEST(AddressLint, ZeroSizedRegionIsAnError) {
+  auto plan = base_plan();
+  plan.regions = std::vector<PlannedRegion>{
+      {"vector.dense", 0, RegionScope::kGlobal, false, false, std::nullopt}};
+  const auto& f = get(lint_address_map(plan), "address.zero-region");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_EQ(f.location.kind, "region");
+  EXPECT_EQ(f.location.name, "vector.dense");
+}
+
+TEST(AddressLint, OverlappingPinnedRegionsAreAnError) {
+  auto plan = base_plan();
+  plan.regions = std::vector<PlannedRegion>{
+      {"matrix.elems", 4096, RegionScope::kGlobal, false, false, Addr{0}},
+      {"vector.dense", 4096, RegionScope::kGlobal, false, false, Addr{2048}},
+      {"output.y", 4096, RegionScope::kGlobal, false, false, Addr{8192}}};
+  const auto fs = lint_address_map(plan);
+  const auto& f = get(fs, "address.overlap");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_EQ(f.location.name, "vector.dense");  // the later-starting region
+  // Only the one overlapping pair is reported.
+  EXPECT_EQ(std::count_if(fs.begin(), fs.end(), [](const Finding& f2) {
+              return f2.id == "address.overlap";
+            }),
+            1);
+}
+
+TEST(AddressLint, PerTileExtentCountsAllInstances) {
+  // 512 B per tile x 2 tiles = 1024 B: a region starting 512 B later
+  // collides with the second instance.
+  auto plan = base_plan();
+  plan.regions = std::vector<PlannedRegion>{
+      {"matrix.col_ptr", 512, RegionScope::kPerTile, false, false, Addr{0}},
+      {"vector.dense", 512, RegionScope::kGlobal, false, false, Addr{512}}};
+  EXPECT_TRUE(has(lint_address_map(plan), "address.overlap"));
+}
+
+TEST(AddressLint, MisalignedBaseWarns) {
+  auto plan = base_plan();
+  plan.regions = std::vector<PlannedRegion>{
+      {"vector.dense", 4096, RegionScope::kGlobal, false, false, Addr{96}}};
+  EXPECT_EQ(get(lint_address_map(plan), "address.misaligned").severity,
+            Severity::kWarning);
+}
+
+TEST(AddressLint, LabelHygiene) {
+  auto plan = base_plan();
+  plan.regions = std::vector<PlannedRegion>{
+      {"", 64, RegionScope::kGlobal, false, false, std::nullopt},
+      {"scratch.tmp", 64, RegionScope::kGlobal, false, false, std::nullopt},
+      {"vector.dense", 64, RegionScope::kGlobal, false, false, std::nullopt},
+      {"vector.dense", 64, RegionScope::kGlobal, false, false, std::nullopt}};
+  const auto fs = lint_address_map(plan);
+  EXPECT_EQ(get(fs, "address.unlabeled").severity, Severity::kError);
+  EXPECT_EQ(get(fs, "address.unknown-label").severity, Severity::kWarning);
+  EXPECT_TRUE(has(fs, "address.duplicate-label"));
+}
+
+TEST(AddressLint, SpmOverflowUnderPsIsAnError) {
+  // A hand-pinned SPM region beyond the 4096 B private bank, not
+  // spill-tolerant: hard error, located at the largest contributor.
+  auto plan = base_plan();
+  plan.sw = runtime::SwConfig::kOP;
+  plan.hw = sim::HwConfig::kPS;
+  plan.regions = std::vector<PlannedRegion>{
+      {"op.heap", 6000, RegionScope::kPerPe, true, false, std::nullopt}};
+  const auto& f = get(lint_address_map(plan), "address.spm-overflow");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_EQ(f.location.name, "op.heap");
+}
+
+TEST(AddressLint, SpillTolerantOverflowIsInformational) {
+  auto plan = base_plan();
+  plan.sw = runtime::SwConfig::kOP;
+  plan.hw = sim::HwConfig::kPS;
+  plan.regions = std::vector<PlannedRegion>{
+      {"op.heap", 6000, RegionScope::kPerPe, true, true, std::nullopt}};
+  const auto fs = lint_address_map(plan);
+  EXPECT_FALSE(has(fs, "address.spm-overflow"));
+  EXPECT_EQ(get(fs, "address.spm-spill").severity, Severity::kInfo);
+}
+
+TEST(AddressLint, ScsTileSpmCapacity) {
+  // SCS gives (pes/2) banks = 8192 B per tile on a 2x4 system.
+  auto plan = base_plan();
+  plan.sw = runtime::SwConfig::kIP;
+  plan.hw = sim::HwConfig::kSCS;
+  plan.regions = std::vector<PlannedRegion>{
+      {"vector.vblock_segment", 8192, RegionScope::kPerTile, true, false,
+       std::nullopt}};
+  EXPECT_FALSE(has(lint_address_map(plan), "address.spm-overflow"));
+  plan.regions->front().bytes = 8193;
+  EXPECT_TRUE(has(lint_address_map(plan), "address.spm-overflow"));
+}
+
+TEST(AddressLint, SpmWithoutSpmHardwareIsAnError) {
+  auto plan = base_plan();
+  plan.sw = runtime::SwConfig::kIP;
+  plan.hw = sim::HwConfig::kSC;  // plain cache: no scratchpad exists
+  plan.regions = std::vector<PlannedRegion>{
+      {"vector.vblock_segment", 64, RegionScope::kPerTile, true, false,
+       std::nullopt}};
+  EXPECT_TRUE(has(lint_address_map(plan), "address.spm-not-available"));
+}
+
+TEST(AddressLint, GlobalScopedSpmIsAnError) {
+  auto plan = base_plan();
+  plan.regions = std::vector<PlannedRegion>{
+      {"vector.vblock_segment", 64, RegionScope::kGlobal, true, false,
+       std::nullopt}};
+  EXPECT_TRUE(has(lint_address_map(plan), "address.spm-bad-scope"));
+}
+
+TEST(AddressLint, BankConflictStrideWarns) {
+  // 8 PEs sharing 4 banks * 64 B lines: a streamed region whose per-PE
+  // stride is a multiple of 256 B maps every PE to one bank.
+  auto plan = base_plan();
+  plan.sw = runtime::SwConfig::kIP;
+  plan.regions = std::vector<PlannedRegion>{
+      {"matrix.elems", 8u * 4 * 64 * 16, RegionScope::kGlobal, false, false,
+       std::nullopt}};
+  const auto fs = lint_address_map(plan);
+  EXPECT_EQ(get(fs, "address.bank-conflict").severity, Severity::kWarning);
+  // Off-multiple stride: no hazard.
+  plan.regions->front().bytes += 8;  // stride no longer a bank multiple
+  EXPECT_FALSE(has(lint_address_map(plan), "address.bank-conflict"));
+}
+
+}  // namespace
+}  // namespace cosparse::verify

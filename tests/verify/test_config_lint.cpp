@@ -1,0 +1,144 @@
+#include "verify/config_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cosparse::verify {
+namespace {
+
+RunPlan base_plan() {
+  RunPlan plan;
+  plan.system = sim::SystemConfig::transmuter(2, 4);
+  plan.dataset = {1000, 8000, 1000};
+  return plan;
+}
+
+bool has(const std::vector<Finding>& fs, const std::string& id) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.id == id; });
+}
+
+// By value: callers pass freshly returned vectors, so a reference into
+// the argument would dangle past the full expression.
+Finding get(const std::vector<Finding>& fs, const std::string& id) {
+  const auto it = std::find_if(fs.begin(), fs.end(),
+                               [&](const Finding& f) { return f.id == id; });
+  EXPECT_NE(it, fs.end()) << "missing finding " << id;
+  return it == fs.end() ? Finding{} : *it;
+}
+
+TEST(ConfigLint, PairLegalityMatchesPaperMatrix) {
+  using runtime::SwConfig;
+  using sim::HwConfig;
+  EXPECT_TRUE(is_legal_pair(SwConfig::kIP, HwConfig::kSC));
+  EXPECT_TRUE(is_legal_pair(SwConfig::kIP, HwConfig::kSCS));
+  EXPECT_TRUE(is_legal_pair(SwConfig::kOP, HwConfig::kPC));
+  EXPECT_TRUE(is_legal_pair(SwConfig::kOP, HwConfig::kPS));
+  EXPECT_FALSE(is_legal_pair(SwConfig::kIP, HwConfig::kPC));
+  EXPECT_FALSE(is_legal_pair(SwConfig::kIP, HwConfig::kPS));
+  EXPECT_FALSE(is_legal_pair(SwConfig::kOP, HwConfig::kSC));
+  EXPECT_FALSE(is_legal_pair(SwConfig::kOP, HwConfig::kSCS));
+}
+
+TEST(ConfigLint, CleanPlanHasNoFindings) {
+  EXPECT_TRUE(lint_config(base_plan()).empty());
+}
+
+TEST(ConfigLint, IllegalPairIsAnErrorAtKernelHw) {
+  auto plan = base_plan();
+  plan.sw = runtime::SwConfig::kOP;
+  plan.hw = sim::HwConfig::kSCS;
+  const auto fs = lint_config(plan);
+  const auto& f = get(fs, "config.illegal-pair");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_EQ(f.location.kind, "config_field");
+  EXPECT_EQ(f.location.name, "kernel.hw");
+}
+
+TEST(ConfigLint, PinnedHwWithAutoSwWarns) {
+  auto plan = base_plan();
+  plan.hw = sim::HwConfig::kPC;
+  const auto fs = lint_config(plan);
+  EXPECT_EQ(get(fs, "config.hw-pinned-sw-auto").severity, Severity::kWarning);
+}
+
+TEST(ConfigLint, DegenerateTopologyAndGeometry) {
+  auto plan = base_plan();
+  plan.system.num_tiles = 0;
+  plan.system.pes_per_tile = 0;
+  plan.system.freq_ghz = 0.0;
+  plan.system.bank_bytes = 0;
+  plan.system.line_bytes = 0;
+  const auto fs = lint_config(plan);
+  for (const char* id : {"config.no-tiles", "config.no-pes",
+                         "config.bad-clock", "config.bad-bank",
+                         "config.bad-line"}) {
+    EXPECT_EQ(get(fs, id).severity, Severity::kError) << id;
+  }
+}
+
+TEST(ConfigLint, BankLineRelationship) {
+  auto plan = base_plan();
+  plan.system.line_bytes = 8192;  // exceeds the 4096 B bank
+  EXPECT_TRUE(has(lint_config(plan), "config.line-exceeds-bank"));
+
+  plan = base_plan();
+  plan.system.bank_bytes = 4096 + 32;  // not a line multiple, not pow2
+  const auto fs = lint_config(plan);
+  EXPECT_TRUE(has(fs, "config.bank-line-mismatch"));
+  EXPECT_TRUE(has(fs, "config.non-pow2-geometry"));
+
+  plan = base_plan();
+  plan.system.associativity = 256;  // one set no longer fits one bank
+  EXPECT_TRUE(has(lint_config(plan), "config.bank-smaller-than-set"));
+}
+
+TEST(ConfigLint, ScsBankSplitNeedsPes) {
+  auto plan = base_plan();
+  plan.system.pes_per_tile = 1;
+  EXPECT_TRUE(has(lint_config(plan), "config.scs-no-spm"));
+  plan.system.pes_per_tile = 5;
+  EXPECT_TRUE(has(lint_config(plan), "config.scs-odd-split"));
+  // Pinned away from SCS, the split never happens: no finding.
+  plan.sw = runtime::SwConfig::kOP;
+  plan.hw = sim::HwConfig::kPC;
+  EXPECT_FALSE(has(lint_config(plan), "config.scs-odd-split"));
+}
+
+TEST(ConfigLint, RxbarTopologyLeavesTileUnreachable) {
+  auto plan = base_plan();  // 2 tiles
+  plan.xbar_tile_ports = std::vector<std::uint32_t>{0, 0, 7};
+  const auto fs = lint_config(plan);
+  EXPECT_EQ(get(fs, "config.tile-unreachable").severity, Severity::kError);
+  EXPECT_EQ(get(fs, "config.tile-unreachable").location.name,
+            "xbar.tile_ports");
+  EXPECT_TRUE(has(fs, "config.duplicate-tile-port"));
+  EXPECT_TRUE(has(fs, "config.unknown-tile-port"));
+  // Full port list: nothing to report.
+  plan.xbar_tile_ports = std::vector<std::uint32_t>{0, 1};
+  EXPECT_TRUE(lint_config(plan).empty());
+}
+
+TEST(ConfigLint, DramPathAndLatency) {
+  auto plan = base_plan();
+  plan.system.dram_channels = 0;
+  plan.system.dram_latency_max = 10.0;  // below the 80-cycle minimum
+  const auto fs = lint_config(plan);
+  EXPECT_TRUE(has(fs, "config.no-dram-path"));
+  EXPECT_TRUE(has(fs, "config.dram-latency-inverted"));
+}
+
+TEST(ConfigLint, UnknownFieldsSurfaceAsWarnings) {
+  auto plan = base_plan();
+  plan.unknown_fields = {"system.bank_kb", "frobnicate"};
+  const auto fs = lint_config(plan);
+  EXPECT_EQ(get(fs, "config.unknown-field").severity, Severity::kWarning);
+  EXPECT_EQ(std::count_if(fs.begin(), fs.end(), [](const Finding& f) {
+              return f.id == "config.unknown-field";
+            }),
+            2);
+}
+
+}  // namespace
+}  // namespace cosparse::verify

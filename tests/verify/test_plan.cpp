@@ -1,0 +1,139 @@
+#include "verify/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosparse::verify {
+namespace {
+
+Json parse(const std::string& text) { return Json::parse(text); }
+
+TEST(RunPlan, ParsesMinimalDocument) {
+  const auto plan = RunPlan::from_json(parse(R"({
+    "schema": "cosparse.run_plan/v1",
+    "name": "tiny",
+    "system": {"num_tiles": 2, "pes_per_tile": 4},
+    "dataset": {"vertices": 1000, "edges": 5000}
+  })"));
+  EXPECT_EQ(plan.name, "tiny");
+  EXPECT_EQ(plan.system.num_tiles, 2u);
+  EXPECT_EQ(plan.system.pes_per_tile, 4u);
+  EXPECT_EQ(plan.dataset.dimension, 1000);
+  EXPECT_EQ(plan.dataset.matrix_nnz, 5000u);
+  // Worst-case frontier defaults to every vertex active.
+  EXPECT_EQ(plan.dataset.frontier_nnz, 1000u);
+  EXPECT_FALSE(plan.sw.has_value());
+  EXPECT_FALSE(plan.hw.has_value());
+  EXPECT_TRUE(plan.unknown_fields.empty());
+  EXPECT_NEAR(plan.matrix_density(), 5e-3, 1e-12);
+}
+
+TEST(RunPlan, ParsesPinnedKernelAndThresholds) {
+  const auto plan = RunPlan::from_json(parse(R"({
+    "schema": "cosparse.run_plan/v1",
+    "dataset": {"vertices": 100, "edges": 400, "max_frontier_nnz": 10},
+    "kernel": {"sw": "OP", "hw": "PS", "vblocked": false},
+    "thresholds": {"scs_density": 0.25, "ps_list_fraction": 0.5}
+  })"));
+  ASSERT_TRUE(plan.sw.has_value());
+  EXPECT_EQ(*plan.sw, runtime::SwConfig::kOP);
+  ASSERT_TRUE(plan.hw.has_value());
+  EXPECT_EQ(*plan.hw, sim::HwConfig::kPS);
+  EXPECT_FALSE(plan.vblocked);
+  EXPECT_EQ(plan.dataset.frontier_nnz, 10u);
+  EXPECT_DOUBLE_EQ(plan.thresholds.scs_density, 0.25);
+  EXPECT_DOUBLE_EQ(plan.thresholds.ps_list_fraction, 0.5);
+  // Untouched thresholds keep their defaults.
+  EXPECT_DOUBLE_EQ(plan.thresholds.cvd_coefficient,
+                   runtime::Thresholds{}.cvd_coefficient);
+}
+
+TEST(RunPlan, CollectsUnknownFieldsInsteadOfThrowing) {
+  const auto plan = RunPlan::from_json(parse(R"({
+    "schema": "cosparse.run_plan/v1",
+    "dataset": {"vertices": 10, "edges": 10, "vertexes": 11},
+    "thresholds": {"scs_densty": 0.2},
+    "system": {"num_tiles": 2, "bank_kb": 4},
+    "frobnicate": true
+  })"));
+  const auto& u = plan.unknown_fields;
+  EXPECT_NE(std::find(u.begin(), u.end(), "dataset.vertexes"), u.end());
+  EXPECT_NE(std::find(u.begin(), u.end(), "thresholds.scs_densty"), u.end());
+  EXPECT_NE(std::find(u.begin(), u.end(), "system.bank_kb"), u.end());
+  EXPECT_NE(std::find(u.begin(), u.end(), "frobnicate"), u.end());
+}
+
+TEST(RunPlan, RejectsStructurallyMalformedDocuments) {
+  EXPECT_THROW(RunPlan::from_json(parse("[1, 2]")), Error);
+  EXPECT_THROW(RunPlan::from_json(parse(R"({"schema": "wrong/v9"})")), Error);
+  EXPECT_THROW(RunPlan::from_json(
+                   parse(R"({"kernel": {"sw": "sideways"}})")),
+               Error);
+  EXPECT_THROW(
+      RunPlan::from_json(parse(R"({"regions": [{"bytes": 8}]})")), Error);
+}
+
+TEST(RunPlan, RoundTripsThroughJson) {
+  auto plan = RunPlan::from_json(parse(R"({
+    "schema": "cosparse.run_plan/v1",
+    "name": "rt",
+    "system": {"num_tiles": 8, "pes_per_tile": 16},
+    "xbar": {"tile_ports": [0, 1, 2, 3, 4, 5, 6, 7]},
+    "dataset": {"vertices": 5000, "edges": 40000},
+    "kernel": {"sw": "IP", "hw": "SCS"},
+    "regions": [{"label": "vector.dense", "bytes": 40000,
+                 "scope": "global", "base": 4096}]
+  })"));
+  const auto back = RunPlan::from_json(plan.to_json());
+  EXPECT_EQ(back.name, plan.name);
+  EXPECT_EQ(back.system.num_tiles, plan.system.num_tiles);
+  EXPECT_EQ(back.xbar_tile_ports, plan.xbar_tile_ports);
+  EXPECT_EQ(back.sw, plan.sw);
+  EXPECT_EQ(back.hw, plan.hw);
+  ASSERT_TRUE(back.regions.has_value());
+  EXPECT_EQ(back.regions->at(0).label, "vector.dense");
+  EXPECT_EQ(back.regions->at(0).base, Addr{4096});
+}
+
+TEST(RunPlan, EffectiveTreeDerivedOrExplicit) {
+  auto plan = RunPlan::from_json(parse(R"({
+    "schema": "cosparse.run_plan/v1",
+    "dataset": {"vertices": 1000, "edges": 8000}
+  })"));
+  EXPECT_FALSE(plan.tree.has_value());
+  EXPECT_FALSE(plan.effective_tree().rules.empty());
+
+  plan.tree = runtime::DecisionTreeSpec{};
+  plan.tree->rules.push_back({"only", runtime::SwConfig::kIP,
+                              sim::HwConfig::kSC, {0.0, 1.0}, {}});
+  EXPECT_EQ(plan.effective_tree().rules.size(), 1u);
+}
+
+TEST(RunPlan, EffectiveRegionsFollowPinnedDataflow) {
+  auto doc = parse(R"({
+    "schema": "cosparse.run_plan/v1",
+    "dataset": {"vertices": 1000, "edges": 8000},
+    "kernel": {"sw": "IP", "hw": "SC"}
+  })");
+  const auto ip_only = RunPlan::from_json(doc).effective_regions();
+  // SC pinned: no SPM segment; IP pinned: no OP regions.
+  for (const auto& r : ip_only) {
+    EXPECT_FALSE(r.spm) << r.label;
+    EXPECT_NE(r.label.rfind("op.", 0), 0u) << r.label;
+  }
+  // Auto everything: both dataflows' regions, including SPM candidates.
+  auto auto_plan = RunPlan::from_json(parse(R"({
+    "schema": "cosparse.run_plan/v1",
+    "dataset": {"vertices": 1000, "edges": 8000}
+  })"));
+  const auto both = auto_plan.effective_regions();
+  EXPECT_GT(both.size(), ip_only.size());
+  EXPECT_TRUE(std::any_of(both.begin(), both.end(),
+                          [](const auto& r) { return r.spm; }));
+}
+
+}  // namespace
+}  // namespace cosparse::verify

@@ -1,0 +1,91 @@
+#include "verify/schema_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cosparse::verify {
+namespace {
+
+bool has(const std::vector<Finding>& fs, const std::string& id) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.id == id; });
+}
+
+Json minimal_report() {
+  return Json::parse(R"({
+    "schema": "cosparse.run_report/v1",
+    "tool": "test"
+  })");
+}
+
+TEST(SchemaLint, MinimalReportIsClean) {
+  EXPECT_TRUE(lint_run_report(minimal_report()).empty());
+}
+
+TEST(SchemaLint, NonObjectAndWrongSchema) {
+  EXPECT_TRUE(has(lint_run_report(Json::parse("[]")), "report.not-object"));
+  auto doc = minimal_report();
+  doc["schema"] = "cosparse.run_report/v99";
+  EXPECT_TRUE(has(lint_run_report(doc), "report.bad-schema"));
+  doc = minimal_report();
+  doc["tool"] = "";
+  EXPECT_TRUE(has(lint_run_report(doc), "report.missing-field"));
+}
+
+TEST(SchemaLint, TileStatsMustSumToGlobalStats) {
+  auto doc = minimal_report();
+  doc["stats"] = Json::parse(R"({"l1_misses": 10})");
+  doc["tile_stats"] =
+      Json::parse(R"([{"l1_misses": 4}, {"l1_misses": 4}])");
+  const auto fs = lint_run_report(doc);
+  ASSERT_TRUE(has(fs, "report.tile-sum-mismatch"));
+  const auto it =
+      std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+        return f.id == "report.tile-sum-mismatch";
+      });
+  EXPECT_EQ(it->location.kind, "document");
+  EXPECT_EQ(it->location.name, "tile_stats.l1_misses");
+  // Fixing the sum clears the finding.
+  doc["tile_stats"] =
+      Json::parse(R"([{"l1_misses": 4}, {"l1_misses": 6}])");
+  EXPECT_TRUE(lint_run_report(doc).empty());
+}
+
+TEST(SchemaLint, IterationRecordsNeedMandatoryFields) {
+  auto doc = minimal_report();
+  doc["iterations"] = Json::parse(
+      R"([{"index": 0, "frontier_nnz": 5, "density": 0.1, "sw": "XP",
+           "hw": "SC", "cycles": 100}])");
+  EXPECT_TRUE(has(lint_run_report(doc), "report.bad-value"));
+  doc["iterations"] = Json::parse(R"([{"index": 0}])");
+  EXPECT_TRUE(has(lint_run_report(doc), "report.missing-field"));
+}
+
+TEST(SchemaLint, ProfileTotalsMustMatchStats) {
+  auto doc = minimal_report();
+  doc["stats"] = Json::parse(R"({"dram_reads": 7})");
+  doc["memory_profile"] = Json::parse(R"({
+    "totals": {"dram_reads": 9},
+    "regions": {"matrix.elems": {"counters": {"dram_reads": 9}}}
+  })");
+  EXPECT_TRUE(
+      has(lint_run_report(doc), "report.profile-stats-divergence"));
+}
+
+TEST(SchemaLint, DecisionAuditInvariants) {
+  auto doc = minimal_report();
+  doc["decision_audit"] = Json::parse(R"({
+    "invocations": [{
+      "invocation": 0, "forced_sw": false, "features": {}, "checks": [],
+      "sw": "IP", "hw": "SC", "cvd": 0.02,
+      "counterfactuals": [{"chosen": true}, {"chosen": true},
+                          {"chosen": false}, {"chosen": false}]
+    }]
+  })");
+  // Two chosen counterfactuals violate the exactly-one invariant.
+  EXPECT_TRUE(has(lint_run_report(doc), "report.bad-value"));
+}
+
+}  // namespace
+}  // namespace cosparse::verify

@@ -1,0 +1,105 @@
+#include "runtime/tree_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cosparse::runtime {
+namespace {
+
+TEST(TreeExport, FeatureIntervalSemantics) {
+  const FeatureInterval i{0.1, 0.5};
+  EXPECT_TRUE(i.contains(0.1));   // half-open: lo inclusive
+  EXPECT_FALSE(i.contains(0.5));  // hi exclusive
+  EXPECT_FALSE(i.empty());
+  EXPECT_TRUE((FeatureInterval{0.5, 0.5}).empty());
+  // Default interval is the whole non-negative axis.
+  const FeatureInterval all;
+  EXPECT_TRUE(all.contains(0.0));
+  EXPECT_TRUE(all.contains(1e18));
+}
+
+TEST(TreeExport, FootprintMatchesDecisionModel) {
+  // 8 B of values plus 1 bit of bitmap per vertex.
+  EXPECT_EQ(vector_footprint_bytes(8000), 8000u * 8 + 1000);
+}
+
+TEST(TreeExport, SpecRoundTripsThroughJson) {
+  const auto cfg = sim::SystemConfig::transmuter(4, 8);
+  const auto spec = export_decision_tree(cfg, Thresholds{}, 20000, 5e-4);
+  ASSERT_FALSE(spec.rules.empty());
+  const auto back = DecisionTreeSpec::from_json(spec.to_json());
+  ASSERT_EQ(back.rules.size(), spec.rules.size());
+  for (std::size_t i = 0; i < spec.rules.size(); ++i) {
+    EXPECT_EQ(back.rules[i].node, spec.rules[i].node);
+    EXPECT_EQ(back.rules[i].sw, spec.rules[i].sw);
+    EXPECT_EQ(back.rules[i].hw, spec.rules[i].hw);
+    EXPECT_DOUBLE_EQ(back.rules[i].density.lo, spec.rules[i].density.lo);
+    EXPECT_DOUBLE_EQ(back.rules[i].density.hi, spec.rules[i].density.hi);
+    EXPECT_DOUBLE_EQ(back.rules[i].footprint.lo, spec.rules[i].footprint.lo);
+    // Infinite bounds survive the null encoding.
+    EXPECT_EQ(std::isinf(back.rules[i].footprint.hi),
+              std::isinf(spec.rules[i].footprint.hi));
+  }
+  EXPECT_THROW(DecisionTreeSpec::from_json(Json::array()), Error);
+}
+
+TEST(TreeExport, AgreesWithDecisionEngineAcrossDensities) {
+  // The exported rules must pick exactly what DecisionEngine::decide picks,
+  // for every frontier density — that is what makes the static analysis a
+  // faithful model of the runtime. Sweep several machines and dimensions.
+  for (const auto& [tiles, pes] : {std::pair<std::uint32_t, std::uint32_t>{2, 4},
+                                   {4, 8},
+                                   {16, 16}}) {
+    const auto cfg = sim::SystemConfig::transmuter(tiles, pes);
+    const Thresholds t;
+    for (const Index dim : {Index{2000}, Index{20000}, Index{200000}}) {
+      const double matrix_density = 5e-4;
+      const auto spec = export_decision_tree(cfg, t, dim, matrix_density);
+      const DecisionEngine de(cfg, t);
+      const double fp = static_cast<double>(vector_footprint_bytes(dim));
+      for (const double density :
+           {0.0, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.999}) {
+        const auto nnz =
+            static_cast<std::size_t>(density * static_cast<double>(dim));
+        const Decision want = de.decide(dim, matrix_density, nnz);
+        const double d =
+            static_cast<double>(nnz) / static_cast<double>(dim);
+        int hits = 0;
+        for (const auto& r : spec.rules) {
+          if (!r.covers(d, fp)) continue;
+          ++hits;
+          EXPECT_EQ(r.sw, want.sw)
+              << "system " << tiles << "x" << pes << " dim " << dim
+              << " density " << d << ": rule " << r.node;
+          EXPECT_EQ(r.hw, want.hw)
+              << "system " << tiles << "x" << pes << " dim " << dim
+              << " density " << d << ": rule " << r.node;
+        }
+        EXPECT_EQ(hits, 1) << "system " << tiles << "x" << pes << " dim "
+                           << dim << " density " << d;
+      }
+    }
+  }
+}
+
+TEST(TreeExport, PsThresholdConvertsBudgetToDensity) {
+  const auto cfg = sim::SystemConfig::transmuter(2, 4);
+  const Thresholds t;
+  // At the breakpoint density the list no longer fits: one element over
+  // floor(budget/node) per PE.
+  const Index dim = 100000;
+  const double d_ps = ps_density_threshold(cfg, t, dim);
+  const auto at = static_cast<std::size_t>(std::lround(d_ps * dim));
+  const DecisionEngine de(cfg, t);
+  EXPECT_EQ(de.decide_hw(SwConfig::kOP, dim, at), sim::HwConfig::kPS);
+  EXPECT_EQ(de.decide_hw(SwConfig::kOP, dim, at - cfg.pes_per_tile),
+            sim::HwConfig::kPC);
+  // Degenerate dimension: PS unreachable, threshold parked above 1.
+  EXPECT_GT(ps_density_threshold(cfg, t, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace cosparse::runtime

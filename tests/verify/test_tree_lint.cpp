@@ -1,0 +1,171 @@
+#include "verify/tree_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+namespace cosparse::verify {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+RunPlan base_plan() {
+  RunPlan plan;
+  plan.system = sim::SystemConfig::transmuter(2, 4);
+  plan.dataset = {1000, 8000, 1000};
+  return plan;
+}
+
+bool has(const std::vector<Finding>& fs, const std::string& id) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.id == id; });
+}
+
+// By value: callers pass freshly returned vectors, so a reference into
+// the argument would dangle past the full expression.
+Finding get(const std::vector<Finding>& fs, const std::string& id) {
+  const auto it = std::find_if(fs.begin(), fs.end(),
+                               [&](const Finding& f) { return f.id == id; });
+  EXPECT_NE(it, fs.end()) << "missing finding " << id;
+  return it == fs.end() ? Finding{} : *it;
+}
+
+TEST(TreeLint, DerivedTreeProvesFullCoverage) {
+  // The tree exported from sane thresholds partitions the feature space:
+  // no gaps, no overlaps, no illegal pairs.
+  const auto fs = lint_decision_tree(base_plan());
+  EXPECT_FALSE(has(fs, "tree.gap"));
+  EXPECT_FALSE(has(fs, "tree.overlap"));
+  EXPECT_FALSE(has(fs, "tree.illegal-pair"));
+}
+
+TEST(TreeLint, GapInHandWrittenTreeIsAnError) {
+  auto plan = base_plan();
+  runtime::DecisionTreeSpec spec;
+  // Covers density [0, 0.3) and [0.6, 1): the middle band is undecidable.
+  spec.rules.push_back({"low", runtime::SwConfig::kOP, sim::HwConfig::kPC,
+                        {0.0, 0.3}, {0.0, kInf}});
+  spec.rules.push_back({"high", runtime::SwConfig::kIP, sim::HwConfig::kSC,
+                        {0.6, 1.0}, {0.0, kInf}});
+  plan.tree = std::move(spec);
+  const auto& f = get(lint_decision_tree(plan), "tree.gap");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_NE(f.message.find("0.3"), std::string::npos);
+  EXPECT_NE(f.message.find("0.6"), std::string::npos);
+}
+
+TEST(TreeLint, ConflictingOverlapIsAnError) {
+  auto plan = base_plan();
+  runtime::DecisionTreeSpec spec;
+  spec.rules.push_back({"a", runtime::SwConfig::kOP, sim::HwConfig::kPC,
+                        {0.0, 0.5}, {0.0, kInf}});
+  spec.rules.push_back({"b", runtime::SwConfig::kIP, sim::HwConfig::kSC,
+                        {0.4, 1.0}, {0.0, kInf}});
+  plan.tree = std::move(spec);
+  const auto& f = get(lint_decision_tree(plan), "tree.overlap");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_EQ(f.location.kind, "tree_node");
+  // The [0.4, 0.5) band is claimed by both.
+  EXPECT_NE(f.message.find("'a'"), std::string::npos);
+  EXPECT_NE(f.message.find("'b'"), std::string::npos);
+  // Remaining space is covered: the overlap must not double as a gap.
+  EXPECT_FALSE(has(lint_decision_tree(plan), "tree.gap"));
+}
+
+TEST(TreeLint, SameConfigOverlapIsOnlyRedundant) {
+  auto plan = base_plan();
+  runtime::DecisionTreeSpec spec;
+  spec.rules.push_back({"a", runtime::SwConfig::kIP, sim::HwConfig::kSC,
+                        {0.0, 0.7}, {0.0, kInf}});
+  spec.rules.push_back({"b", runtime::SwConfig::kIP, sim::HwConfig::kSC,
+                        {0.5, 1.0}, {0.0, kInf}});
+  plan.tree = std::move(spec);
+  const auto fs = lint_decision_tree(plan);
+  EXPECT_FALSE(has(fs, "tree.overlap"));
+  EXPECT_EQ(get(fs, "tree.redundant-rules").severity, Severity::kWarning);
+}
+
+TEST(TreeLint, IllegalPairInsideRuleIsAnError) {
+  auto plan = base_plan();
+  runtime::DecisionTreeSpec spec;
+  spec.rules.push_back({"bad", runtime::SwConfig::kOP, sim::HwConfig::kSCS,
+                        {0.0, 1.0}, {0.0, kInf}});
+  plan.tree = std::move(spec);
+  const auto& f = get(lint_decision_tree(plan), "tree.illegal-pair");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_EQ(f.location.name, "bad");
+}
+
+TEST(TreeLint, EmptyRuleBoxIsUnreachable) {
+  auto plan = base_plan();
+  runtime::DecisionTreeSpec spec;
+  spec.rules.push_back({"cover", runtime::SwConfig::kIP, sim::HwConfig::kSC,
+                        {0.0, 1.0}, {0.0, kInf}});
+  spec.rules.push_back({"never", runtime::SwConfig::kOP, sim::HwConfig::kPC,
+                        {0.5, 0.5}, {0.0, kInf}});
+  plan.tree = std::move(spec);
+  const auto& f = get(lint_decision_tree(plan), "tree.unreachable-branch");
+  EXPECT_EQ(f.severity, Severity::kWarning);  // hand-written: author error
+  EXPECT_EQ(f.location.name, "never");
+}
+
+TEST(TreeLint, FootprintGapIsDetected) {
+  // Coverage must hold on both axes: leave footprint [4096, 8192) bare.
+  auto plan = base_plan();
+  runtime::DecisionTreeSpec spec;
+  spec.rules.push_back({"small", runtime::SwConfig::kIP, sim::HwConfig::kSC,
+                        {0.0, 1.0}, {0.0, 4096.0}});
+  spec.rules.push_back({"large", runtime::SwConfig::kIP, sim::HwConfig::kSCS,
+                        {0.0, 1.0}, {8192.0, kInf}});
+  plan.tree = std::move(spec);
+  EXPECT_TRUE(has(lint_decision_tree(plan), "tree.gap"));
+}
+
+TEST(TreeLint, PsBudgetBeyondBankContradictsCalibration) {
+  auto plan = base_plan();
+  plan.thresholds.ps_list_fraction = 1.5;
+  const auto& f =
+      get(lint_decision_tree(plan), "tree.ps-budget-exceeds-bank");
+  EXPECT_EQ(f.severity, Severity::kError);
+  EXPECT_EQ(f.location.name, "thresholds.ps_list_fraction");
+  plan.thresholds.ps_list_fraction = 0.0;
+  EXPECT_TRUE(has(lint_decision_tree(plan), "tree.ps-budget-empty"));
+}
+
+TEST(TreeLint, EmptyClampWindowIsAnError) {
+  auto plan = base_plan();
+  plan.thresholds.cvd_min = 0.1;
+  plan.thresholds.cvd_max = 0.05;
+  EXPECT_EQ(get(lint_decision_tree(plan), "tree.empty-clamp").severity,
+            Severity::kError);
+}
+
+TEST(TreeLint, ScsDensityOutsideDomainWarns) {
+  auto plan = base_plan();
+  plan.thresholds.scs_density = 1.7;
+  EXPECT_EQ(get(lint_decision_tree(plan), "tree.scs-out-of-range").severity,
+            Severity::kWarning);
+}
+
+TEST(TreeLint, CvdOutsideCalibrationBracketWarns) {
+  auto plan = base_plan();
+  // Clamp window forces the CVD to 0.9 — far beyond calibrate's bracket.
+  plan.thresholds.cvd_min = 0.9;
+  plan.thresholds.cvd_max = 0.95;
+  const auto fs = lint_decision_tree(plan);
+  EXPECT_TRUE(has(fs, "tree.cvd-outside-calibration"));
+  EXPECT_TRUE(has(fs, "tree.cvd-clamp-binds"));
+}
+
+TEST(TreeLint, ZeroDimensionDatasetIsAnError) {
+  auto plan = base_plan();
+  plan.dataset.dimension = 0;
+  const auto fs = lint_decision_tree(plan);
+  EXPECT_TRUE(has(fs, "tree.no-dataset"));
+  // The partition analysis is skipped, so no spurious gap findings.
+  EXPECT_FALSE(has(fs, "tree.gap"));
+}
+
+}  // namespace
+}  // namespace cosparse::verify

@@ -1,0 +1,138 @@
+#include "cosparse_lint.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace cosparse::tools {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cosparse-lint [plan|report] <file.json>... [options]\n"
+    "\n"
+    "subcommands:\n"
+    "  plan    lint cosparse.run_plan/v1 documents (default)\n"
+    "  report  lint cosparse.run_report/v1 documents\n"
+    "\n"
+    "options:\n"
+    "  --json               print cosparse.lint_report/v1 JSON instead of "
+    "text\n"
+    "  --strict             exit nonzero on warnings too\n"
+    "  --report-out <file>  also write the last lint report JSON to <file>\n";
+
+struct Options {
+  std::string subcommand = "plan";
+  std::vector<std::string> files;
+  bool json = false;
+  bool strict = false;
+  std::string report_out;
+};
+
+bool parse_args(int argc, const char* const* argv, Options& opts,
+                std::ostream& err) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::size_t i = 0;
+  if (!args.empty() && (args[0] == "plan" || args[0] == "report")) {
+    opts.subcommand = args[0];
+    ++i;
+  }
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--json") {
+      opts.json = true;
+    } else if (a == "--strict") {
+      opts.strict = true;
+    } else if (a == "--report-out") {
+      if (i + 1 >= args.size()) {
+        err << "cosparse-lint: --report-out needs a file argument\n";
+        return false;
+      }
+      opts.report_out = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      err << "cosparse-lint: unknown option " << a << "\n";
+      return false;
+    } else {
+      opts.files.push_back(a);
+    }
+  }
+  if (opts.files.empty()) {
+    err << "cosparse-lint: no input files\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void print_lint_report(std::ostream& os, const verify::LintReport& report) {
+  os << report.subject() << ":\n";
+  for (const auto& f : report.findings()) {
+    os << "  " << verify::to_string(f.severity) << "[" << f.id << "] @"
+       << f.location.name << ": " << f.message << "\n";
+  }
+  os << "  " << report.count(verify::Severity::kError) << " error(s), "
+     << report.count(verify::Severity::kWarning) << " warning(s), "
+     << report.count(verify::Severity::kInfo) << " info(s)\n";
+}
+
+int lint_main(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  Options opts;
+  if (!parse_args(argc, argv, opts, err)) {
+    err << kUsage;
+    return 2;
+  }
+
+  bool gate_tripped = false;
+  std::string last_report_json;
+  for (const std::string& path : opts.files) {
+    std::ifstream in(path);
+    if (!in.good()) {
+      err << "cosparse-lint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    verify::LintReport report(path);
+    try {
+      const Json doc = Json::parse(buf.str());
+      report = opts.subcommand == "report"
+                   ? verify::lint_run_report_json(doc, path)
+                   : verify::lint_plan_json(doc, path);
+    } catch (const Error& e) {
+      report.add(verify::Finding{
+          "plan", "plan.unparseable", verify::Severity::kError, e.what(),
+          verify::Location::document("(root)")});
+    }
+
+    if (opts.json) {
+      out << report.to_json().dump(2) << "\n";
+    } else {
+      print_lint_report(out, report);
+    }
+    last_report_json = report.to_json().dump(2);
+    if (report.errors() > 0 ||
+        (opts.strict && report.count(verify::Severity::kWarning) > 0)) {
+      gate_tripped = true;
+    }
+  }
+
+  if (!opts.report_out.empty()) {
+    std::ofstream o(opts.report_out);
+    if (!o.good()) {
+      err << "cosparse-lint: cannot write " << opts.report_out << "\n";
+      return 2;
+    }
+    o << last_report_json << "\n";
+  }
+  return gate_tripped ? 1 : 0;
+}
+
+}  // namespace cosparse::tools

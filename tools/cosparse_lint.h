@@ -1,0 +1,39 @@
+// cosparse-lint: static verifier for run plans and run reports.
+//
+// Two subcommands, neither of which executes the simulator:
+//
+//   plan <plan.json>... [--json] [--strict] [--report-out <file>]
+//     runs the config-legality, address-map and decision-tree passes over
+//     each cosparse.run_plan/v1 document and prints the findings. Exits
+//     nonzero when any plan has errors (with --strict, also on warnings)
+//     so CI can gate on it. --json prints the cosparse.lint_report/v1
+//     documents instead of the human-readable table; --report-out writes
+//     the (last) lint report to a file as well.
+//
+//   report <report.json>... [--json] [--strict]
+//     runs the schema/invariant pass over cosparse.run_report/v1
+//     documents — the same checks the check_report smoke gate and the
+//     observability unit tests enforce.
+//
+// The driver logic lives here (library target cosparse_lint_lib) so
+// tests/tools/test_cosparse_lint.cpp can run the CLI on crafted plans
+// without spawning a process; cosparse_lint_main.cpp is a thin wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "verify/verify.h"
+
+namespace cosparse::tools {
+
+/// Human-readable rendering: one line per finding
+/// ("error[config.illegal-pair] @kernel.hw: ..."), then a summary line.
+void print_lint_report(std::ostream& os, const verify::LintReport& report);
+
+/// Full CLI (argument parsing + file IO). Returns the process exit code:
+/// 0 clean, 1 findings at or above the gating severity, 2 usage error.
+int lint_main(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace cosparse::tools

@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cosparse_lint.h"
+
+int main(int argc, char** argv) {
+  return cosparse::tools::lint_main(argc, argv, std::cout, std::cerr);
+}
