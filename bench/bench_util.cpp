@@ -10,6 +10,7 @@
 #include "kernels/address_map.h"
 #include "kernels/partition.h"
 #include "kernels/semiring.h"
+#include "sim/parallel.h"
 #include "sim/profile.h"
 #include "sparse/generate.h"
 
@@ -26,6 +27,7 @@ KernelRun time_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
                   bool nnz_balanced, bool vblocked) {
   sim::Machine machine(cfg, hw);
   machine.set_profiler(profiler());
+  machine.set_executor(executor());
   kernels::AddressMap amap(machine);
   const auto part = kernels::IpPartitionedMatrix::build(
       m, cfg.num_pes(), vblocked ? vblock_cols_for(cfg) : 0, nnz_balanced);
@@ -43,6 +45,7 @@ KernelRun time_op(const sparse::Coo& m, const sparse::SparseVector& x,
                   bool nnz_balanced) {
   sim::Machine machine(cfg, hw);
   machine.set_profiler(profiler());
+  machine.set_executor(executor());
   kernels::AddressMap amap(machine);
   const auto striped =
       kernels::OpStripedMatrix::build(m, cfg.num_tiles, nnz_balanced);
@@ -112,6 +115,7 @@ struct ObsState {
   obs::MetricsRegistry metrics;
   obs::Report report{"bench"};
   std::unique_ptr<sim::MemProfiler> profiler;  ///< armed by --profile
+  std::unique_ptr<sim::ParallelExecutor> executor;  ///< armed by --sim-threads
 };
 
 ObsState& obs_state() {
@@ -160,6 +164,11 @@ void add_observability_options(CliParser& cli) {
   cli.add_flag("profile",
                "attach the region-attributed memory profiler (adds the "
                "memory_profile report section; see cosparse-prof)");
+  cli.add_option("sim-threads",
+                 "host threads for tile-parallel simulation (0 = serial; "
+                 "COSPARSE_SIM_THREADS is the fallback; results are "
+                 "bit-identical for any value)",
+                 "");
 }
 
 void init_observability(const CliParser& cli) {
@@ -172,6 +181,17 @@ void init_observability(const CliParser& cli) {
   if (cli.has("profile") && cli.flag("profile")) {
     st.profiler = std::make_unique<sim::MemProfiler>();
   }
+  std::uint32_t sim_threads = sim::ParallelExecutor::threads_from_env();
+  if (cli.has("sim-threads") && !cli.str("sim-threads").empty()) {
+    sim_threads = static_cast<std::uint32_t>(cli.integer("sim-threads"));
+  }
+  if (sim_threads >= 1) {
+    st.executor = std::make_unique<sim::ParallelExecutor>(sim_threads);
+    // Recorded only when parallel simulation is on: the setting never
+    // changes results, and serial reports stay byte-comparable across
+    // hosts that do or don't set COSPARSE_SIM_THREADS.
+    st.report.set("sim_threads", sim_threads);
+  }
   // Runs are only reproducible with their seed; keep it in the report.
   if (cli.has("seed")) st.report.set("seed", cli.integer("seed"));
 }
@@ -182,10 +202,17 @@ obs::MetricsRegistry& metrics() { return obs_state().metrics; }
 
 sim::MemProfiler* profiler() { return obs_state().profiler.get(); }
 
+sim::ParallelExecutor* executor() { return obs_state().executor.get(); }
+
 runtime::EngineOptions engine_options() {
   runtime::EngineOptions o;
   o.trace = trace();
   o.metrics = &metrics();
+  o.executor = executor();
+  // A null executor must stay null: engine_options() callers already got
+  // the process-wide resolution above, so suppress the engine's own
+  // environment lookup.
+  if (o.executor == nullptr) o.sim_threads = 0;
   return o;
 }
 

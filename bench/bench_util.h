@@ -91,6 +91,13 @@ void init_observability(const CliParser& cli);
 /// The process-wide metrics registry. Pass into EngineOptions::metrics.
 [[nodiscard]] obs::MetricsRegistry& metrics();
 
+/// The process-wide simulation executor, or nullptr when the run is
+/// serial. Resolved from --sim-threads (falling back to the
+/// COSPARSE_SIM_THREADS environment variable); time_ip/time_op attach it
+/// automatically, and engine_options() forwards it. Thread count never
+/// changes simulated results — only wall-clock time.
+[[nodiscard]] sim::ParallelExecutor* executor();
+
 /// The process-wide memory profiler, or nullptr unless --profile was
 /// given. time_ip/time_op attach it automatically; harnesses driving a
 /// runtime::Engine attach it with engine.machine().set_profiler(...)

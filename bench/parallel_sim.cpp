@@ -1,0 +1,147 @@
+// Tile-parallel simulation benchmark: wall-clock vs --sim-threads.
+//
+// Runs the same auto-reconfiguring SpMV sequence (a density ramp that
+// crosses the IP/OP boundary, so both kernels and a hardware
+// reconfiguration are exercised) once per thread count on a 16-tile
+// system, and
+//   (a) asserts the serialized run report of every parallel leg is
+//       byte-identical to the serial engine's (the DESIGN.md §11
+//       guarantee, enforced here on every benchmark run), and
+//   (b) records honest host wall-clock numbers in BENCH_parallel_sim.json.
+// Speedup depends on the host: with fewer cores than threads the parallel
+// legs cannot win (the log/replay machinery still costs a few percent),
+// which is why the JSON records hardware_concurrency alongside the
+// timings rather than a context-free speedup claim.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/report.h"
+#include "sim/profile.h"
+#include "sparse/generate.h"
+
+using namespace cosparse;
+
+namespace {
+
+struct Leg {
+  std::uint32_t threads = 0;
+  double wall_ms = 0.0;
+  std::string report;
+  Cycles cycles = 0;
+};
+
+Leg run_leg(const sparse::Coo& m, const sim::SystemConfig& sys,
+            std::uint32_t threads, int reps) {
+  Leg leg;
+  leg.threads = threads;
+  const Index n = m.rows();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    runtime::EngineOptions opts;  // deliberately not engine_options():
+    opts.sim_threads = threads;   // the process executor must not override
+    runtime::Engine eng(m, sys, opts);
+    sim::MemProfiler prof;
+    eng.machine().set_profiler(&prof);
+    std::uint64_t iter = 0;
+    for (const double density :
+         {0.0008, 0.003, 0.03, 0.3, 0.9, 0.02, 0.001}) {
+      const auto x = sparse::random_sparse_vector(n, density, 31 + iter++);
+      eng.spmv(runtime::Engine::Frontier::from_sparse(x),
+               kernels::PlainSpmv{});
+    }
+    if (rep == 0) {
+      leg.report = runtime::make_run_report(eng, "parallel_sim").to_string();
+      leg.cycles = eng.total_cycles();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  leg.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("parallel_sim",
+                "Wall-clock of the tile-parallel simulator vs thread count "
+                "(simulated results are bit-identical by construction)");
+  bench::add_observability_options(cli);
+  cli.add_option("vertices", "matrix dimension", "8192");
+  cli.add_option("edges", "matrix non-zeros", "131072");
+  cli.add_option("system", "AxB system", "16x4");
+  cli.add_option("threads", "sim thread counts (0 = serial)", "0,1,2,4,8");
+  cli.add_option("reps", "timed repetitions per leg", "3");
+  cli.add_option("json-out", "machine-readable results",
+                 "BENCH_parallel_sim.json");
+  if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
+
+  const auto n = static_cast<Index>(cli.integer("vertices"));
+  const auto nnz = static_cast<std::uint64_t>(cli.integer("edges"));
+  const auto sys = bench::parse_systems(cli.str("system")).front();
+  const int reps = static_cast<int>(cli.integer("reps"));
+  const auto m =
+      sparse::uniform_random(n, n, nnz, 11, sparse::ValueDist::kUniform01);
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  std::cout << "parallel_sim: " << n << " vertices, " << nnz
+            << " nnz on " << sys.name() << "; host has " << host_cores
+            << " core(s)\n\n";
+
+  std::vector<Leg> legs;
+  for (const auto t : cli.int_list("threads")) {
+    legs.push_back(run_leg(m, sys, static_cast<std::uint32_t>(t), reps));
+  }
+  const Leg& serial = legs.front();
+
+  Table table({"sim-threads", "wall ms", "speedup vs serial",
+               "report == serial"});
+  bool all_identical = true;
+  Json jlegs = Json::array();
+  for (const Leg& leg : legs) {
+    const bool same = leg.report == serial.report;
+    all_identical = all_identical && same;
+    const double speedup = leg.wall_ms > 0 ? serial.wall_ms / leg.wall_ms : 0;
+    table.add_row({std::to_string(leg.threads), Table::fmt(leg.wall_ms, 2),
+                   Table::fmt_ratio(speedup), same ? "yes" : "NO"});
+    Json o = Json::object();
+    o["sim_threads"] = leg.threads;
+    o["wall_ms"] = leg.wall_ms;
+    o["speedup_vs_serial"] = speedup;
+    o["report_identical_to_serial"] = same;
+    jlegs.push_back(std::move(o));
+  }
+  bench::emit("parallel_sim", table);
+
+  Json doc = Json::object();
+  doc["schema"] = "cosparse.bench_parallel_sim/v1";
+  doc["system"] = sys.name();
+  doc["vertices"] = n;
+  doc["edges"] = nnz;
+  doc["iterations_per_leg"] = 7;
+  doc["reps"] = reps;
+  doc["host_cores"] = host_cores;
+  doc["simulated_cycles"] = serial.cycles;
+  doc["all_reports_identical"] = all_identical;
+  doc["note"] =
+      "wall_ms is host wall-clock on the machine named by host_cores; "
+      "parallel speedup requires host_cores > 1. Simulated results are "
+      "bit-identical across thread counts (asserted per run).";
+  doc["legs"] = std::move(jlegs);
+  std::ofstream out(cli.str("json-out"));
+  out << doc.dump(1) << "\n";
+  std::cout << "wrote " << cli.str("json-out") << "\n";
+
+  bench::finish_run();
+  if (!all_identical) {
+    std::cerr << "FAIL: a parallel leg diverged from the serial report\n";
+    return 1;
+  }
+  return 0;
+}

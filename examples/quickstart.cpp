@@ -32,6 +32,11 @@ int main(int argc, char** argv) {
                "attach the region-attributed memory profiler (adds the "
                "memory_profile report section; see cosparse-prof)");
   cli.add_option("report-out", "write a JSON run report to this path", "");
+  cli.add_option("sim-threads",
+                 "host threads for tile-parallel simulation (0 = serial; "
+                 "COSPARSE_SIM_THREADS is the fallback; results are "
+                 "bit-identical for any value)",
+                 "");
   cli.add_option("trace-out",
                  "write Perfetto trace-event JSON to this path "
                  "(COSPARSE_TRACE env var is the fallback)",
@@ -57,6 +62,9 @@ int main(int argc, char** argv) {
   obs::Trace trace(!trace_path.empty());
   obs::MetricsRegistry metrics;
   runtime::EngineOptions opts;
+  if (!cli.str("sim-threads").empty()) {
+    opts.sim_threads = static_cast<std::uint32_t>(cli.integer("sim-threads"));
+  }
   opts.trace = &trace;
   opts.metrics = &metrics;
   runtime::Engine engine(adjacency, system, opts);

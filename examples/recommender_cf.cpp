@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
                "attach the region-attributed memory profiler (adds the "
                "memory_profile report section; see cosparse-prof)");
   cli.add_option("report-out", "write a JSON run report to this path", "");
+  cli.add_option("sim-threads",
+                 "host threads for tile-parallel simulation (0 = serial; "
+                 "COSPARSE_SIM_THREADS is the fallback; results are "
+                 "bit-identical for any value)",
+                 "");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
@@ -54,7 +59,12 @@ int main(int argc, char** argv) {
             << " items, " << rating_matrix.nnz() << " observed ratings\n\n";
 
   const auto system = sim::SystemConfig::transmuter(8, 8);
-  runtime::Engine engine(rating_matrix, system);
+  runtime::EngineOptions eng_opts;
+  if (!cli.str("sim-threads").empty()) {
+    eng_opts.sim_threads =
+        static_cast<std::uint32_t>(cli.integer("sim-threads"));
+  }
+  runtime::Engine engine(rating_matrix, system, eng_opts);
   sim::MemProfiler profiler;
   if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
   graph::CfOptions opts;

@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
                "attach the region-attributed memory profiler (adds the "
                "memory_profile report section; see cosparse-prof)");
   cli.add_option("report-out", "write a JSON run report to this path", "");
+  cli.add_option("sim-threads",
+                 "host threads for tile-parallel simulation (0 = serial; "
+                 "COSPARSE_SIM_THREADS is the fallback; results are "
+                 "bit-identical for any value)",
+                 "");
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
@@ -45,7 +50,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(std::stoul(sys_spec.substr(0, x))),
       static_cast<std::uint32_t>(std::stoul(sys_spec.substr(x + 1))));
 
-  runtime::Engine engine(graph.adjacency(), system);
+  runtime::EngineOptions eng_opts;
+  if (!cli.str("sim-threads").empty()) {
+    eng_opts.sim_threads =
+        static_cast<std::uint32_t>(cli.integer("sim-threads"));
+  }
+  runtime::Engine engine(graph.adjacency(), system, eng_opts);
   sim::MemProfiler profiler;
   if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
   graph::PageRankOptions opts;

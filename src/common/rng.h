@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "common/error.h"
 
@@ -19,6 +20,21 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept {
     std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  /// Named sub-stream of `seed`: the stream label is folded into the seed
+  /// (FNV-1a) before SplitMix64 expansion, so two consumers keyed by
+  /// different names draw *independent* sequences from the same user seed.
+  /// Without this, every generator called with seed S would replay the
+  /// exact same underlying sequence — e.g. uniform_random(seed) and
+  /// random_dense_vector(seed) producing correlated structure and values.
+  Rng(std::uint64_t seed, std::string_view stream) noexcept {
+    std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
+    for (const char ch : stream) {
+      x ^= static_cast<unsigned char>(ch);
+      x *= 0x100000001b3ULL;
+    }
     for (auto& word : state_) word = splitmix64(x);
   }
 

@@ -95,9 +95,13 @@ IpResult run_inner_product(sim::Machine& m, AddressMap& amap,
     bool acc_open = false;
   };
   std::vector<PeState> state(pes);
+  // Tile bodies may run on parallel host threads (Machine::for_tiles), so
+  // the touched-row tally is kept per tile and summed afterwards; rows
+  // themselves are PE-exclusive, so y/touched need no coordination.
+  std::vector<std::size_t> tile_touched(m.num_tiles(), 0);
 
   for (std::uint32_t vb = 0; vb < A.num_vblocks(); ++vb) {
-    for (std::uint32_t tile = 0; tile < m.num_tiles(); ++tile) {
+    m.for_tiles([&](std::uint32_t tile) {
       if (scs) {
         const Addr seg = xval_base + static_cast<Addr>(vb) *
                                          A.vblock_cols() * kValueBytes;
@@ -129,7 +133,7 @@ IpResult run_inner_product(sim::Machine& m, AddressMap& amap,
         out.y[st.cur_row] = sr.reduce(out.y[st.cur_row], st.acc);
         if (!out.touched[st.cur_row]) {
           out.touched[st.cur_row] = 1;
-          ++out.num_touched;
+          ++tile_touched[tile];
         }
         st.acc = sr.reduce_identity();
         st.acc_open = false;
@@ -192,26 +196,30 @@ IpResult run_inner_product(sim::Machine& m, AddressMap& amap,
         const std::uint32_t pe = tile * m.pes_per_tile() + lp;
         flush_row(pe, state[pe]);
       }
-    }
+    });
   }
+  for (const std::size_t t : tile_touched) out.num_touched += t;
 
   // finalize() pass (only semirings that use the destination value need it;
   // for the others it is the identity and costs nothing).
   if constexpr (S::kUsesDst) {
-    for (std::uint32_t pe = 0; pe < pes; ++pe) {
-      const auto& part = parts[pe];
-      for (Index r = part.row_begin; r < part.row_end; ++r) {
-        if (!out.touched[r]) continue;
-        m.mem_read(pe, y_base + static_cast<Addr>(r) * kValueBytes,
-                   kValueBytes);
-        m.mem_read(pe, xval_base + static_cast<Addr>(r) * kValueBytes,
-                   kValueBytes);
-        m.compute(pe, 2);
-        m.mem_write(pe, y_base + static_cast<Addr>(r) * kValueBytes,
-                    kValueBytes);
-        out.y[r] = sr.finalize(out.y[r], x.values[r]);
+    m.for_tiles([&](std::uint32_t tile) {
+      for (std::uint32_t lp = 0; lp < m.pes_per_tile(); ++lp) {
+        const std::uint32_t pe = tile * m.pes_per_tile() + lp;
+        const auto& part = parts[pe];
+        for (Index r = part.row_begin; r < part.row_end; ++r) {
+          if (!out.touched[r]) continue;
+          m.mem_read(pe, y_base + static_cast<Addr>(r) * kValueBytes,
+                     kValueBytes);
+          m.mem_read(pe, xval_base + static_cast<Addr>(r) * kValueBytes,
+                     kValueBytes);
+          m.compute(pe, 2);
+          m.mem_write(pe, y_base + static_cast<Addr>(r) * kValueBytes,
+                      kValueBytes);
+          out.y[r] = sr.finalize(out.y[r], x.values[r]);
+        }
       }
-    }
+    });
   }
 
   m.global_barrier();

@@ -90,18 +90,41 @@ OpResult run_outer_product(sim::Machine& m, AddressMap& amap,
   // Per-PE share of x within a tile (every tile scans all of x).
   const std::size_t chunk = (x.nnz() + P - 1) / P;
 
+  // Simulated placement of every tile's structures, hoisted ahead of the
+  // tile loop: alloc()/AddressMap registration mutate machine-global state
+  // and are phase-illegal once the tile bodies run on parallel host
+  // threads (Machine::for_tiles). Allocation order — elems, col_ptr, heap
+  // per tile in ascending tile order — matches the historical in-loop
+  // order, so addresses and profiler attribution are unchanged.
+  struct TilePlacement {
+    Addr elems = 0;
+    Addr col_ptr = 0;
+    Addr heap = 0;
+  };
+  std::vector<TilePlacement> place(m.num_tiles());
   for (std::uint32_t tile = 0; tile < m.num_tiles(); ++tile) {
     const auto& stripe = stripes[tile];
-    const Addr elems_base =
+    place[tile].elems =
         stripe.elems.empty()
             ? Addr{0}
             : amap.of(stripe.elems.data(),
                       stripe.elems.size() * kOpElemBytes, "matrix.op_elems");
-    const Addr colptr_base = amap.of(stripe.col_ptr.data(),
-                                     stripe.col_ptr.size() * 8, "matrix.col_ptr");
+    place[tile].col_ptr = amap.of(stripe.col_ptr.data(),
+                                  stripe.col_ptr.size() * 8, "matrix.col_ptr");
     // Scratch heap region for this invocation; per-PE sub-ranges.
-    const Addr heap_base = m.alloc(
+    place[tile].heap = m.alloc(
         static_cast<std::size_t>(P) * (chunk + 1) * kHeapNodeBytes, "op.heap");
+  }
+
+  // Per-tile finished rows; concatenated in tile order below (stripes are
+  // ascending disjoint row ranges, so concatenation keeps y sorted).
+  std::vector<std::vector<sparse::VectorEntry>> tile_rows(m.num_tiles());
+
+  m.for_tiles([&](std::uint32_t tile) {
+    const auto& stripe = stripes[tile];
+    const Addr elems_base = place[tile].elems;
+    const Addr colptr_base = place[tile].col_ptr;
+    const Addr heap_base = place[tile].heap;
 
     // Per-PE merge state, advanced round-robin.
     struct PeState {
@@ -271,11 +294,14 @@ OpResult run_outer_product(sim::Machine& m, AddressMap& amap,
       }
       const Value xdst =
           (S::kUsesDst && x_dst_old != nullptr) ? (*x_dst_old)[row] : Value{0};
-      out.y.push_back(row, sr.finalize(acc, xdst));
+      tile_rows[tile].push_back({row, sr.finalize(acc, xdst)});
     }
     m.tile_barrier(tile);
-  }
+  });
 
+  for (const auto& rows : tile_rows) {
+    for (const sparse::VectorEntry& e : rows) out.y.push_back(e.index, e.value);
+  }
   m.global_barrier();
   return out;
 }

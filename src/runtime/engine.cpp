@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "kernels/region_plan.h"
 
@@ -14,6 +16,21 @@ Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
       trace_(opts.trace),
       metrics_(opts.metrics) {
   machine_.set_trace(trace_);
+  // Tile-parallel simulation: an external executor wins; otherwise resolve
+  // sim_threads (nullopt -> COSPARSE_SIM_THREADS) and own the pool. Thread
+  // count never changes results (sim::Machine::for_tiles).
+  if (opts_.executor != nullptr) {
+    machine_.set_executor(opts_.executor);
+  } else {
+    const std::uint32_t threads =
+        opts_.sim_threads.has_value()
+            ? *opts_.sim_threads
+            : sim::ParallelExecutor::threads_from_env();
+    if (threads >= 1) {
+      owned_exec_ = std::make_unique<sim::ParallelExecutor>(threads);
+      machine_.set_executor(owned_exec_.get());
+    }
+  }
   decider_.set_metrics(metrics_);
   decider_.set_audit(&audit_);
   // f_next = SpMV(G^T, f): build the resident copies of G^T. SC streams a
@@ -29,6 +46,30 @@ Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
                                                        opts_.nnz_balanced);
   op_matrix_ =
       kernels::OpStripedMatrix::build(mt, cfg.num_tiles, opts_.nnz_balanced);
+  // Frontier staging buffers (see engine.h): allocate the worst-case
+  // storage once so their host pointers never change over the engine's
+  // lifetime. nnz is bounded by the dimension, so reserving `dim` entries
+  // means the sparse buffer never reallocates either.
+  const Index dim = dimension();
+  staged_dense_ = kernels::DenseFrontier(dim, 0);
+  staged_sparse_ = sparse::SparseVector(dim);
+  staged_sparse_.reserve(dim);
+}
+
+const kernels::DenseFrontier& Engine::stage_dense(
+    const kernels::DenseFrontier& df) {
+  staged_dense_.values.values().assign(df.values.values().begin(),
+                                       df.values.values().end());
+  staged_dense_.active.assign(df.active.begin(), df.active.end());
+  staged_dense_.num_active = df.num_active;
+  return staged_dense_;
+}
+
+const sparse::SparseVector& Engine::stage_sparse(
+    const sparse::SparseVector& sv) {
+  staged_sparse_.clear();
+  for (const auto& e : sv.entries()) staged_sparse_.push_back(e.index, e.value);
+  return staged_sparse_;
 }
 
 Decision Engine::resolve_decision(std::size_t frontier_nnz) const {
@@ -146,10 +187,14 @@ void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
   }
 }
 
-kernels::DenseFrontier Engine::convert_to_dense(
+const kernels::DenseFrontier& Engine::convert_to_dense(
     const sparse::SparseVector& sv, Value identity, Cycles* cost) {
   const Cycles start = machine_.cycles();
-  kernels::DenseFrontier df(sv.dimension(), identity);
+  // Reset the staging buffer in place (stable host storage, see engine.h).
+  kernels::DenseFrontier& df = staged_dense_;
+  std::fill(df.values.values().begin(), df.values.values().end(), identity);
+  std::fill(df.active.begin(), df.active.end(), std::uint8_t{0});
+  df.num_active = 0;
   // Bulk-initialize the value array and bitmap (DMA), then scatter the
   // entries across the PEs.
   machine_.dma_traffic(static_cast<std::size_t>(sv.dimension()) * 8 +
@@ -177,7 +222,7 @@ kernels::DenseFrontier Engine::convert_to_dense(
   return df;
 }
 
-sparse::SparseVector Engine::convert_to_sparse(
+const sparse::SparseVector& Engine::convert_to_sparse(
     const kernels::DenseFrontier& df, Cycles* cost) {
   const Cycles start = machine_.cycles();
   // Scan the bitmap (one 64-bit word covers 64 vertices), emit entries for
@@ -215,7 +260,11 @@ sparse::SparseVector Engine::convert_to_sparse(
                      static_cast<double>(start),
                      static_cast<double>(machine_.cycles()), std::move(args));
   }
-  return df.to_sparse();
+  staged_sparse_.clear();
+  for (Index i = 0; i < df.dimension(); ++i) {
+    if (df.active[i]) staged_sparse_.push_back(i, df.values[i]);
+  }
+  return staged_sparse_;
 }
 
 }  // namespace cosparse::runtime

@@ -15,6 +15,7 @@
 // matrix once at construction (paper Fig. 2).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "runtime/audit.h"
 #include "runtime/decision.h"
 #include "sim/machine.h"
+#include "sim/parallel.h"
 #include "sparse/formats.h"
 
 namespace cosparse::runtime {
@@ -54,6 +56,15 @@ struct EngineOptions {
   /// pointer test per iteration.
   obs::Trace* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Host threads for tile-parallel simulation. nullopt resolves
+  /// COSPARSE_SIM_THREADS (unset/invalid -> serial); an explicit 0 forces
+  /// serial simulation regardless of the environment; N >= 1 makes the
+  /// engine own a pool of exactly N workers. Results are bit-identical for
+  /// every setting (sim::Machine::for_tiles; DESIGN.md §11).
+  std::optional<std::uint32_t> sim_threads;
+  /// External executor to share across engines (not owned; must outlive
+  /// the engine). Overrides `sim_threads` when set.
+  sim::ParallelExecutor* executor = nullptr;
 };
 
 /// One row of the Fig. 9-style iteration log.
@@ -169,11 +180,18 @@ class Engine {
 
  private:
   /// Frontier conversions, charged to the machine (lightweight vector
-  /// conversion of §III-D.2). Return the converted representation.
-  kernels::DenseFrontier convert_to_dense(const sparse::SparseVector& sv,
-                                          Value identity, Cycles* cost);
-  sparse::SparseVector convert_to_sparse(const kernels::DenseFrontier& df,
-                                         Cycles* cost);
+  /// conversion of §III-D.2). Fill the engine-owned staging buffer and
+  /// return it.
+  const kernels::DenseFrontier& convert_to_dense(
+      const sparse::SparseVector& sv, Value identity, Cycles* cost);
+  const sparse::SparseVector& convert_to_sparse(
+      const kernels::DenseFrontier& df, Cycles* cost);
+
+  /// Pass-through staging (no conversion, no simulated cost): copy the
+  /// caller's frontier into the engine-owned buffer so the kernel always
+  /// reads from stable host storage.
+  const kernels::DenseFrontier& stage_dense(const kernels::DenseFrontier& df);
+  const sparse::SparseVector& stage_sparse(const sparse::SparseVector& sv);
 
   Decision resolve_decision(std::size_t frontier_nnz) const;
 
@@ -184,6 +202,7 @@ class Engine {
                         Cycles kernel_begin, Cycles kernel_end);
 
   EngineOptions opts_;
+  std::unique_ptr<sim::ParallelExecutor> owned_exec_;  ///< see sim_threads
   sim::Machine machine_;
   kernels::AddressMap amap_;
   AuditTrail audit_;
@@ -195,6 +214,16 @@ class Engine {
   kernels::IpPartitionedMatrix ip_matrix_sc_;
   kernels::IpPartitionedMatrix ip_matrix_scs_;
   kernels::OpStripedMatrix op_matrix_;
+  // Frontier staging buffers, allocated once at construction and refilled
+  // in place each iteration. AddressMap memoizes simulated regions by host
+  // pointer, so every pointer the kernels map must stay stable for the
+  // engine's lifetime — otherwise a freed per-iteration buffer whose host
+  // address malloc later recycles would alias a stale simulated region,
+  // making cycle counts depend on process heap history (DESIGN.md §11).
+  // They model the fixed device-resident frontier regions a real runtime
+  // would DMA into.
+  kernels::DenseFrontier staged_dense_;
+  sparse::SparseVector staged_sparse_;
   double matrix_density_ = 0.0;
   std::vector<IterationRecord> log_;
   std::uint32_t next_iteration_ = 0;
@@ -240,10 +269,11 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
     const auto& layout = d.hw == sim::HwConfig::kSCS ? ip_matrix_scs_
                                                      : ip_matrix_sc_;
     if (f.dense) {
+      const kernels::DenseFrontier& df = stage_dense(f.df);
       kernel_begin = machine_.cycles();
-      out.ip = kernels::run_inner_product(machine_, amap_, layout, f.df, sr);
+      out.ip = kernels::run_inner_product(machine_, amap_, layout, df, sr);
     } else {
-      const kernels::DenseFrontier df =
+      const kernels::DenseFrontier& df =
           convert_to_dense(f.sv, sr.vector_identity(), &conv);
       rec.converted_frontier = true;
       kernel_begin = machine_.cycles();
@@ -255,14 +285,15 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
     out.dense = false;
     Cycles conv = 0;
     if (f.dense) {
-      const sparse::SparseVector sv = convert_to_sparse(f.df, &conv);
+      const sparse::SparseVector& sv = convert_to_sparse(f.df, &conv);
       rec.converted_frontier = true;
       kernel_begin = machine_.cycles();
       out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
                                           dst_old, sr);
     } else {
+      const sparse::SparseVector& sv = stage_sparse(f.sv);
       kernel_begin = machine_.cycles();
-      out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, f.sv,
+      out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
                                           dst_old, sr);
     }
     kernel_end = machine_.cycles();

@@ -17,6 +17,12 @@
 //     "0 to (Nsrc-1) serialization latency depending upon number of
 //     conflicts").
 //
+// Tiles may be simulated on parallel host threads (set_executor +
+// for_tiles): tile bodies advance only tile-private array state and log
+// their events; the logs are replayed serially in tile-ID order, so the
+// numbers are bit-identical to the serial engine for any thread count
+// (DESIGN.md §11).
+//
 // Hierarchy wiring per HwConfig (paper Fig. 2):
 //   SC : per-tile shared L1 cache (P banks)           -> global shared L2
 //   SCS: per-tile L1 split: P/2 cache banks + P/2 SPM -> global shared L2
@@ -24,6 +30,7 @@
 //   PS : per-PE private L1 SPM (1 bank), no L1 cache  -> per-tile L2
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -39,6 +46,7 @@
 namespace cosparse::sim {
 
 class MemProfiler;
+class ParallelExecutor;
 
 class Machine {
  public:
@@ -118,6 +126,28 @@ class Machine {
   void tile_barrier(std::uint32_t tile);
   void global_barrier();
 
+  // ---- tile-parallel execution ----
+  /// Attaches a host thread pool (not owned; nullptr detaches; must
+  /// outlive the machine while attached). With an executor, for_tiles()
+  /// runs the tile bodies concurrently as a *tile phase*: each body may
+  /// only touch tile-private simulator state (its tile's L1/L2 arrays) and
+  /// every timing-bearing event is appended to a per-tile log. When all
+  /// bodies finish, the machine replays the logs serially in ascending
+  /// tile-ID order, performing all clock/Stats/DRAM/profiler arithmetic in
+  /// exactly the order the serial engine uses — so cycle counts, Stats,
+  /// profiler attribution and run reports are bit-identical for every
+  /// thread count (determinism argument: DESIGN.md §11).
+  void set_executor(ParallelExecutor* exec);
+  [[nodiscard]] ParallelExecutor* executor() const { return exec_; }
+
+  /// Runs fn(tile) for every tile in [0, num_tiles). Without an executor
+  /// this is a plain serial loop (the immediate mode every pre-existing
+  /// caller gets); with one, bodies run as a tile phase (see
+  /// set_executor). Inside a body, PE-side operations are legal only for
+  /// PEs of that tile; alloc(), dma_traffic(), global_barrier(),
+  /// reconfigure(), cycles() and sink (re)attachment are phase-illegal.
+  void for_tiles(const std::function<void(std::uint32_t)>& fn);
+
   // ---- reconfiguration (paper §III-D: LCP-triggered, <= 10 cycles) ----
   /// Global barrier, write-back flush of all dirty cache lines, the <= 10
   /// cycle mode switch, then the hierarchy is rebuilt cold in `next` mode.
@@ -172,6 +202,25 @@ class Machine {
   double route_access(std::uint32_t pe, Addr addr, bool write);
   /// L2-level access (demand or traffic-only); returns demand latency.
   double access_l2(std::uint32_t pe, Addr addr, bool write, bool demand);
+  /// Timing/stats/profiler half of an L1 access whose array outcome is
+  /// already known; `l2(addr, write, demand)` propagates fills/writebacks
+  /// to the next level (array access in immediate mode, logged outcome in
+  /// replay) and returns the demand latency. Shared between the serial
+  /// path and tile-phase replay so the two execute identical arithmetic
+  /// in identical order.
+  template <class L2Fn>
+  double finish_l1(std::uint32_t pe, Addr addr, double l1_latency,
+                   const CacheArray::Outcome& out, L2Fn&& l2);
+  /// Timing/stats/profiler half of an L2 access with a known outcome.
+  double finish_l2(std::uint32_t pe, Addr addr, bool demand,
+                   const CacheArray::Outcome& out);
+  /// Stall/issue cost applied to the issuing PE after routing an access.
+  void apply_mem_latency(std::uint32_t pe, bool write, double latency);
+  /// Tile-phase half of mem_read/mem_write: advances the tile-private
+  /// array state and logs the outcome(s) for replay.
+  void phase_mem(std::uint32_t pe, Addr addr, bool write);
+  /// Replays one tile's phase log (serial, called in tile-ID order).
+  void replay_tile(std::uint32_t tile);
 
   /// Applies one mutation to the global stats and the owning tile's slice,
   /// keeping the two views additive by construction.
@@ -194,6 +243,9 @@ class Machine {
   EnergyModel energy_;
   obs::Trace* trace_ = nullptr;
   MemProfiler* prof_ = nullptr;
+  ParallelExecutor* exec_ = nullptr;
+  bool phase_active_ = false;  ///< a for_tiles() phase is running on workers
+  std::vector<std::vector<std::uint64_t>> tile_log_;  ///< per-tile event logs
 
   std::vector<AllocRecord> allocs_;  ///< replayed into late-attached profilers
 

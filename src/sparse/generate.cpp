@@ -93,7 +93,7 @@ class PowerLawSampler {
 
 Coo uniform_random(Index rows, Index cols, std::uint64_t nnz,
                    std::uint64_t seed, ValueDist dist) {
-  Rng rng(seed);
+  Rng rng(seed, "uniform_random");
   return fill_distinct(rows, cols, nnz, rng, dist, [&] {
     const Index r = static_cast<Index>(rng.next_below(rows));
     const Index c = static_cast<Index>(rng.next_below(cols));
@@ -104,7 +104,7 @@ Coo uniform_random(Index rows, Index cols, std::uint64_t nnz,
 Coo power_law(Index rows, Index cols, std::uint64_t nnz, double beta,
               std::uint64_t seed, ValueDist dist) {
   COSPARSE_REQUIRE(beta > 1.0, "power-law exponent beta must exceed 1");
-  Rng rng(seed);
+  Rng rng(seed, "power_law");
   // Chung-Lu: weight exponent is 1/(beta-1) for a degree exponent of beta.
   const double exponent = 1.0 / (beta - 1.0);
   PowerLawSampler row_sampler(rows, exponent);
@@ -136,7 +136,7 @@ Coo rmat(std::uint32_t scale, std::uint64_t nnz, double a, double b, double c,
   COSPARSE_REQUIRE(a >= 0 && b >= 0 && c >= 0 && d >= -1e-9,
                    "R-MAT probabilities must sum to <= 1");
   const Index n = Index{1} << scale;
-  Rng rng(seed);
+  Rng rng(seed, "rmat");
   return fill_distinct(n, n, nnz, rng, dist, [&] {
     Index r = 0, col = 0;
     for (std::uint32_t level = 0; level < scale; ++level) {
@@ -158,13 +158,88 @@ Coo rmat(std::uint32_t scale, std::uint64_t nnz, double a, double b, double c,
   });
 }
 
+Coo banded(Index rows, Index cols, Index bandwidth, std::uint64_t nnz,
+           std::uint64_t seed, ValueDist dist) {
+  // In-band capacity: for each row, columns [max(0, r - bw), min(cols - 1,
+  // r + bw)]. fill_distinct is not usable here — its dense-enumeration
+  // fallback would place elements outside the band — so the generator does
+  // its own rejection sampling with an in-band-only fallback.
+  std::uint64_t capacity = 0;
+  for (Index r = 0; r < rows; ++r) {
+    const Index lo = r > bandwidth ? r - bandwidth : 0;
+    const Index hi = std::min<Index>(cols > 0 ? cols - 1 : 0, r + bandwidth);
+    if (cols > 0 && hi >= lo) capacity += hi - lo + 1;
+  }
+  COSPARSE_REQUIRE(nnz <= capacity, "requested nnz exceeds band capacity");
+  Rng rng(seed, "banded");
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz) * 2);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz));
+  const std::uint64_t max_draws = nnz * 64 + 1024;
+  std::uint64_t draws = 0;
+  while (triplets.size() < nnz && draws < max_draws) {
+    ++draws;
+    const Index r = static_cast<Index>(rng.next_below(rows));
+    const Index lo = r > bandwidth ? r - bandwidth : 0;
+    const Index hi = std::min<Index>(cols - 1, r + bandwidth);
+    if (hi < lo) continue;  // row has no in-band columns (cols << rows)
+    const Index c =
+        lo + static_cast<Index>(rng.next_below(hi - lo + std::uint64_t{1}));
+    if (seen.insert(pack(r, c)).second) {
+      triplets.push_back({r, c, draw_value(rng, dist)});
+    }
+  }
+  // Near-full bands stall rejection; finish by enumerating the remaining
+  // in-band cells in order (deterministic).
+  for (Index r = 0; r < rows && triplets.size() < nnz; ++r) {
+    const Index lo = r > bandwidth ? r - bandwidth : 0;
+    const Index hi = std::min<Index>(cols - 1, r + bandwidth);
+    for (Index c = lo; c <= hi && triplets.size() < nnz; ++c) {
+      if (seen.insert(pack(r, c)).second) {
+        triplets.push_back({r, c, draw_value(rng, dist)});
+      }
+    }
+  }
+  return Coo(rows, cols, std::move(triplets));
+}
+
+Coo single_entry(Index rows, Index cols, std::uint64_t seed, ValueDist dist) {
+  COSPARSE_REQUIRE(rows > 0 && cols > 0,
+                   "single_entry needs a non-empty shape");
+  Rng rng(seed, "single_entry");
+  const Index r = static_cast<Index>(rng.next_below(rows));
+  const Index c = static_cast<Index>(rng.next_below(cols));
+  std::vector<Triplet> triplets{{r, c, draw_value(rng, dist)}};
+  return Coo(rows, cols, std::move(triplets));
+}
+
+Coo with_empty_slices(const Coo& m, double row_fraction, double col_fraction,
+                      std::uint64_t seed) {
+  COSPARSE_REQUIRE(row_fraction >= 0.0 && row_fraction <= 1.0 &&
+                       col_fraction >= 0.0 && col_fraction <= 1.0,
+                   "empty-slice fractions must be in [0, 1]");
+  Rng rng(seed, "with_empty_slices");
+  std::vector<std::uint8_t> kill_row(m.rows(), 0);
+  std::vector<std::uint8_t> kill_col(m.cols(), 0);
+  for (auto& k : kill_row) k = rng.next_bool(row_fraction) ? 1 : 0;
+  for (auto& k : kill_col) k = rng.next_bool(col_fraction) ? 1 : 0;
+  std::vector<Triplet> triplets;
+  triplets.reserve(m.triplets().size());
+  for (const Triplet& t : m.triplets()) {
+    if (kill_row[t.row] || kill_col[t.col]) continue;
+    triplets.push_back(t);
+  }
+  return Coo(m.rows(), m.cols(), std::move(triplets));
+}
+
 SparseVector random_sparse_vector(Index dimension, double density,
                                   std::uint64_t seed, ValueDist dist) {
   COSPARSE_REQUIRE(density >= 0.0 && density <= 1.0,
                    "vector density must be in [0, 1]");
   const auto target = static_cast<std::uint64_t>(
       std::ceil(density * static_cast<double>(dimension)));
-  Rng rng(seed);
+  Rng rng(seed, "random_sparse_vector");
   std::unordered_set<Index> chosen;
   chosen.reserve(static_cast<std::size_t>(target) * 2);
   while (chosen.size() < target) {
@@ -179,7 +254,7 @@ SparseVector random_sparse_vector(Index dimension, double density,
 
 DenseVector random_dense_vector(Index dimension, std::uint64_t seed,
                                 ValueDist dist) {
-  Rng rng(seed);
+  Rng rng(seed, "random_dense_vector");
   DenseVector out(dimension);
   for (Index i = 0; i < dimension; ++i) out[i] = draw_value(rng, dist);
   return out;

@@ -52,6 +52,11 @@ class SparseVector {
 
   void clear() { entries_.clear(); }
 
+  /// Pre-allocates entry storage. Callers that refill the vector in place
+  /// (e.g. the engine's frontier staging buffers) reserve once so the
+  /// backing array never reallocates afterwards.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   friend bool operator==(const SparseVector&, const SparseVector&) = default;
 
  private:
