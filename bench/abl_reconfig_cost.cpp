@@ -62,6 +62,5 @@ int main(int argc, char** argv) {
   std::cout << "Expectation: the benefit is insensitive below ~1k cycles "
                "(switches are rare: 1-2 per run), so the <= 10-cycle "
                "Transmuter mechanism is far from being the bottleneck.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

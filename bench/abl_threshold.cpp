@@ -70,6 +70,5 @@ int main(int argc, char** argv) {
   bench::emit("abl_threshold", t);
   std::cout << "Expectation: a broad optimum around the calibrated 0.16; "
                "the always-IP and always-OP extremes are clearly worse.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

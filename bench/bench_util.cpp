@@ -28,6 +28,7 @@ KernelRun time_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
   sim::Machine machine(cfg, hw);
   machine.set_profiler(profiler());
   machine.set_executor(executor());
+  machine.set_telemetry(telemetry());
   kernels::AddressMap amap(machine);
   const auto part = kernels::IpPartitionedMatrix::build(
       m, cfg.num_pes(), vblocked ? vblock_cols_for(cfg) : 0, nnz_balanced);
@@ -46,6 +47,7 @@ KernelRun time_op(const sparse::Coo& m, const sparse::SparseVector& x,
   sim::Machine machine(cfg, hw);
   machine.set_profiler(profiler());
   machine.set_executor(executor());
+  machine.set_telemetry(telemetry());
   kernels::AddressMap amap(machine);
   const auto striped =
       kernels::OpStripedMatrix::build(m, cfg.num_tiles, nnz_balanced);
@@ -116,6 +118,9 @@ struct ObsState {
   obs::Report report{"bench"};
   std::unique_ptr<sim::MemProfiler> profiler;  ///< armed by --profile
   std::unique_ptr<sim::ParallelExecutor> executor;  ///< armed by --sim-threads
+  /// Armed by --telemetry-interval / COSPARSE_TELEMETRY (cadence,
+  /// exporter outputs, SLO watchdog).
+  obs::TelemetrySession telemetry;
 };
 
 ObsState& obs_state() {
@@ -169,6 +174,7 @@ void add_observability_options(CliParser& cli) {
                  "COSPARSE_SIM_THREADS is the fallback; results are "
                  "bit-identical for any value)",
                  "");
+  obs::TelemetrySession::add_cli_options(cli);
 }
 
 void init_observability(const CliParser& cli) {
@@ -194,6 +200,7 @@ void init_observability(const CliParser& cli) {
   }
   // Runs are only reproducible with their seed; keep it in the report.
   if (cli.has("seed")) st.report.set("seed", cli.integer("seed"));
+  st.telemetry.init(cli, cli.program());
 }
 
 obs::Trace* trace() { return &obs_state().trace; }
@@ -204,11 +211,14 @@ sim::MemProfiler* profiler() { return obs_state().profiler.get(); }
 
 sim::ParallelExecutor* executor() { return obs_state().executor.get(); }
 
+obs::Telemetry* telemetry() { return obs_state().telemetry.telemetry(); }
+
 runtime::EngineOptions engine_options() {
   runtime::EngineOptions o;
   o.trace = trace();
   o.metrics = &metrics();
   o.executor = executor();
+  o.telemetry = telemetry();
   // A null executor must stay null: engine_options() callers already got
   // the process-wide resolution above, so suppress the engine's own
   // environment lookup.
@@ -229,18 +239,25 @@ Json to_json(const KernelRun& run) {
   return o;
 }
 
-void finish_run() {
+int finish_run() {
   ObsState& st = obs_state();
+  // Finalize before writing the report: the final flush snapshot and the
+  // watchdog's verdict belong in the telemetry section.
+  const int exit_code = st.telemetry.finalize();
   if (!st.report_path.empty()) {
     if (st.profiler != nullptr) {
       st.report.set("memory_profile", st.profiler->to_json());
     }
     st.report.set("metrics", st.metrics.to_json());
+    if (st.telemetry.armed()) {
+      st.report.set("telemetry", st.telemetry.telemetry()->report_json());
+    }
     st.report.write(st.report_path);
   }
   if (st.trace.enabled() && !st.trace_path.empty()) {
     st.trace.write(st.trace_path);
   }
+  return exit_code;
 }
 
 }  // namespace cosparse::bench

@@ -17,6 +17,7 @@
 #include "kernels/op_spmv.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
 #include "sim/machine.h"
@@ -106,8 +107,15 @@ void init_observability(const CliParser& cli);
 /// section.
 [[nodiscard]] sim::MemProfiler* profiler();
 
-/// Default EngineOptions with the process-wide trace/metrics sinks already
-/// attached; harnesses adjust the remaining fields as usual.
+/// The process-wide telemetry registry, or nullptr unless
+/// --telemetry-interval / COSPARSE_TELEMETRY armed it. time_ip/time_op
+/// and engine_options() attach it automatically; the cadence, exporter
+/// outputs and SLO watchdog are wired by init_observability() through an
+/// obs::TelemetrySession.
+[[nodiscard]] obs::Telemetry* telemetry();
+
+/// Default EngineOptions with the process-wide trace/metrics/telemetry
+/// sinks already attached; harnesses adjust the remaining fields as usual.
 [[nodiscard]] runtime::EngineOptions engine_options();
 
 /// Sets a top-level section of the run report (e.g. "config", "dataset").
@@ -117,9 +125,13 @@ void report_set(const std::string& key, Json value);
 /// load imbalance.
 [[nodiscard]] Json to_json(const KernelRun& run);
 
-/// Folds the metrics registry into the report, then writes the report and
-/// trace to the paths requested at init_observability() time (no-op for
-/// outputs that were not requested). Call at the end of main().
-void finish_run();
+/// Folds the metrics registry (and, when armed, the telemetry section)
+/// into the report, then writes the report and trace to the paths
+/// requested at init_observability() time (no-op for outputs that were
+/// not requested). Finalizes the telemetry session — final snapshot,
+/// exporter drain, SLO verdict — and returns the exit code the binary
+/// should propagate: 0 normally, 3 when --slo-strict was given and a rule
+/// was violated. Call `return bench::finish_run();` at the end of main().
+[[nodiscard]] int finish_run();
 
 }  // namespace cosparse::bench

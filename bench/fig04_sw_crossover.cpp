@@ -66,6 +66,5 @@ int main(int argc, char** argv) {
   // crosses 1.0, interpolated on the first matrix).
   std::cout << "Takeaway (paper §III-C.1): CVD should fall as PEs/tile "
                "rises; expect ~2% at 8 PEs/tile -> ~0.5% at 32.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -64,6 +64,5 @@ int main(int argc, char** argv) {
 
   std::cout << "Takeaway (paper §III-C.2): SCS speedup is positively "
                "correlated with vector density and with SPM reuse.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

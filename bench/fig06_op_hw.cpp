@@ -62,6 +62,5 @@ int main(int argc, char** argv) {
   std::cout << "Takeaway (paper §III-C.3): PS wins with more columns to "
                "merge or shorter columns; PS's edge shrinks with more "
                "PEs per tile.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

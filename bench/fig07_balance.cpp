@@ -116,6 +116,5 @@ int main(int argc, char** argv) {
   std::cout << "Takeaway (paper §IV-B): balancing buys 7-30% for IP "
                "(more for SC than SCS); power-law OP beats uniform OP "
                "outright; partitioning adds up to ~10% for OP.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -119,6 +119,5 @@ int main(int argc, char** argv) {
             << " energy\n"
             << "Paper averages: 4.5x / 282.5x (CPU), 17.3x / 730.6x (GPU); "
                "gains should grow as density falls.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -149,6 +149,5 @@ int main(int argc, char** argv) {
                "baseline: "
             << Table::fmt_ratio(baseline_total / reconfig_total)
             << " (paper: 1.51x on pokec; <= 2.0x across workloads)\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

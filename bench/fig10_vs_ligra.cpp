@@ -118,6 +118,5 @@ int main(int argc, char** argv) {
             << Table::fmt_ratio(std::exp(energy_log / samples))
             << "\nPaper: max 3.5x speedup; average 404.4x energy gain; "
                "Ligra slightly ahead only on pokec BFS/SSSP.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

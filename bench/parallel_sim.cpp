@@ -31,6 +31,11 @@ namespace {
 struct Leg {
   std::uint32_t threads = 0;
   double wall_ms = 0.0;
+  /// Phase decomposition from the "sim.tile_fill_ms" / "sim.replay_ms"
+  /// histograms (per rep; zero for the serial leg, which has no
+  /// log/replay machinery). Localizes the replay bottleneck.
+  double fill_ms = 0.0;
+  double replay_ms = 0.0;
   std::string report;
   Cycles cycles = 0;
 };
@@ -40,11 +45,17 @@ Leg run_leg(const sparse::Coo& m, const sim::SystemConfig& sys,
   Leg leg;
   leg.threads = threads;
   const Index n = m.rows();
+  // Cadence-disabled telemetry, attached to the *machine* only: it
+  // harvests the fill/replay wall-time histograms without adding a
+  // telemetry section to the run report (which must stay byte-identical
+  // across legs).
+  obs::Telemetry phase_times;
   const auto t0 = std::chrono::steady_clock::now();
   for (int rep = 0; rep < reps; ++rep) {
     runtime::EngineOptions opts;  // deliberately not engine_options():
     opts.sim_threads = threads;   // the process executor must not override
     runtime::Engine eng(m, sys, opts);
+    eng.machine().set_telemetry(&phase_times);
     sim::MemProfiler prof;
     eng.machine().set_profiler(&prof);
     std::uint64_t iter = 0;
@@ -62,6 +73,12 @@ Leg run_leg(const sparse::Coo& m, const sim::SystemConfig& sys,
   const auto t1 = std::chrono::steady_clock::now();
   leg.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  const auto sum_of = [&](const char* name) {
+    const obs::StreamingHistogram* h = phase_times.find_histogram(name);
+    return h == nullptr ? 0.0 : h->sum() / reps;
+  };
+  leg.fill_ms = sum_of("sim.tile_fill_ms");
+  leg.replay_ms = sum_of("sim.replay_ms");
   return leg;
 }
 
@@ -100,8 +117,8 @@ int main(int argc, char** argv) {
   }
   const Leg& serial = legs.front();
 
-  Table table({"sim-threads", "wall ms", "speedup vs serial",
-               "report == serial"});
+  Table table({"sim-threads", "wall ms", "fill ms", "replay ms",
+               "speedup vs serial", "report == serial"});
   bool all_identical = true;
   Json jlegs = Json::array();
   for (const Leg& leg : legs) {
@@ -109,10 +126,13 @@ int main(int argc, char** argv) {
     all_identical = all_identical && same;
     const double speedup = leg.wall_ms > 0 ? serial.wall_ms / leg.wall_ms : 0;
     table.add_row({std::to_string(leg.threads), Table::fmt(leg.wall_ms, 2),
+                   Table::fmt(leg.fill_ms, 2), Table::fmt(leg.replay_ms, 2),
                    Table::fmt_ratio(speedup), same ? "yes" : "NO"});
     Json o = Json::object();
     o["sim_threads"] = leg.threads;
     o["wall_ms"] = leg.wall_ms;
+    o["log_fill_wall_ms"] = leg.fill_ms;
+    o["replay_wall_ms"] = leg.replay_ms;
     o["speedup_vs_serial"] = speedup;
     o["report_identical_to_serial"] = same;
     jlegs.push_back(std::move(o));
@@ -132,16 +152,19 @@ int main(int argc, char** argv) {
   doc["note"] =
       "wall_ms is host wall-clock on the machine named by host_cores; "
       "parallel speedup requires host_cores > 1. Simulated results are "
-      "bit-identical across thread counts (asserted per run).";
+      "bit-identical across thread counts (asserted per run). "
+      "log_fill_wall_ms / replay_wall_ms split the tile phases into the "
+      "parallel log-fill part and the serial deterministic replay part "
+      "(zero for the serial leg, which executes directly without a log).";
   doc["legs"] = std::move(jlegs);
   std::ofstream out(cli.str("json-out"));
   out << doc.dump(1) << "\n";
   std::cout << "wrote " << cli.str("json-out") << "\n";
 
-  bench::finish_run();
+  const int exit_code = bench::finish_run();
   if (!all_identical) {
     std::cerr << "FAIL: a parallel leg diverged from the serial report\n";
     return 1;
   }
-  return 0;
+  return exit_code;
 }

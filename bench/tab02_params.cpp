@@ -73,6 +73,5 @@ int main(int argc, char** argv) {
             << sys.scs_spm_bytes_per_tile() / 1024
             << " kB/tile; PS SPM " << sys.ps_spm_bytes_per_pe() / 1024
             << " kB/PE\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -39,6 +39,5 @@ int main(int argc, char** argv) {
                "uniform for vsp; |V| and |E| divided by scale (average "
                "degree preserved). Set COSPARSE_DATA_DIR to load real SNAP "
                "edge lists instead.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

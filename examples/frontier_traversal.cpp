@@ -13,6 +13,7 @@
 #include "common/table.h"
 #include "graph/algorithms.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
                  "write Perfetto trace-event JSON to this path "
                  "(COSPARSE_TRACE env var is the fallback)",
                  "");
+  obs::TelemetrySession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
@@ -86,7 +88,14 @@ int main(int argc, char** argv) {
   }
   obs_opts.trace = &trace;
   obs_opts.metrics = &metrics;
+  // One telemetry stream spans all three traversal engines, like the
+  // trace/metrics sinks: algo.bfs.*, algo.cc.* and algo.sssp.* histograms
+  // accumulate into the same snapshots.
+  obs::TelemetrySession telemetry;
+  telemetry.init(cli, "frontier_traversal");
+  obs_opts.telemetry = telemetry.telemetry();
 
+  int exit_code = 0;
   std::cout << "Traversals on " << graph.name() << " stand-in ("
             << graph.num_vertices() << " vertices, " << graph.num_edges()
             << " edges), " << system.name() << " system\n\n";
@@ -144,7 +153,9 @@ int main(int argc, char** argv) {
               << sssp.stats.hw_switches() << " memory reconfigurations\n";
 
     // The report covers the last engine's machine (the SSSP run) plus the
-    // metrics registry all three traversals shared.
+    // metrics registry all three traversals shared. Telemetry finalizes
+    // first so its final snapshot and SLO verdict reach the report.
+    exit_code = telemetry.finalize();
     if (const std::string path = cli.str("report-out"); !path.empty()) {
       obs::Report report =
           runtime::make_run_report(engine, "frontier_traversal");
@@ -163,5 +174,5 @@ int main(int argc, char** argv) {
     std::cout << "wrote trace to " << trace_path
               << " (open at ui.perfetto.dev)\n";
   }
-  return 0;
+  return exit_code;
 }

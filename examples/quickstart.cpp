@@ -9,12 +9,15 @@
 //
 //   ./quickstart [--vertices N] [--edges M] [--seed S] [--profile]
 //                [--report-out run.json] [--trace-out trace.json]
+//                [--telemetry-interval 1i --telemetry-out t.jsonl
+//                 --prom-out metrics.prom --slo 'p99.engine.iteration_ms<50']
 #include <iostream>
 
 #include "common/cli.h"
 #include "graph/algorithms.h"
 #include "kernels/semiring.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
                  "write Perfetto trace-event JSON to this path "
                  "(COSPARSE_TRACE env var is the fallback)",
                  "");
+  obs::TelemetrySession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   const auto n = static_cast<Index>(cli.integer("vertices"));
   const auto m = static_cast<std::uint64_t>(cli.integer("edges"));
@@ -67,6 +71,13 @@ int main(int argc, char** argv) {
   }
   opts.trace = &trace;
   opts.metrics = &metrics;
+  // Continuous telemetry (off unless --telemetry-interval or
+  // COSPARSE_TELEMETRY arms it): streaming histograms snapshotted to
+  // JSONL/OpenMetrics, watched by the SLO rules. Tail the JSONL live with
+  // cosparse-top.
+  obs::TelemetrySession telemetry;
+  telemetry.init(cli, "quickstart");
+  opts.telemetry = telemetry.telemetry();
   runtime::Engine engine(adjacency, system, opts);
 
   // With --profile, every memory-hierarchy event is attributed to the
@@ -112,7 +123,11 @@ int main(int argc, char** argv) {
             << engine.machine().watts() << " W\n";
 
   // 6. Machine-readable outputs: one JSON run report (global + per-tile
-  //    stats, iteration records, metrics) and a Perfetto trace.
+  //    stats, iteration records, metrics, telemetry) and a Perfetto
+  //    trace. Finalize telemetry first so the final flush snapshot and
+  //    SLO verdict land in the report's telemetry section; the returned
+  //    code is nonzero only under --slo-strict with a violated rule.
+  const int exit_code = telemetry.finalize();
   if (const std::string path = cli.str("report-out"); !path.empty()) {
     obs::Report report = runtime::make_run_report(engine, "quickstart");
     Json dataset = Json::object();
@@ -128,5 +143,5 @@ int main(int argc, char** argv) {
     std::cout << "wrote trace to " << trace_path
               << " (open at ui.perfetto.dev)\n";
   }
-  return 0;
+  return exit_code;
 }

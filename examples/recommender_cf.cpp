@@ -9,6 +9,7 @@
 #include "common/cli.h"
 #include "common/rng.h"
 #include "graph/algorithms.h"
+#include "obs/telemetry.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
 #include "sim/profile.h"
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
                  "COSPARSE_SIM_THREADS is the fallback; results are "
                  "bit-identical for any value)",
                  "");
+  obs::TelemetrySession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
@@ -64,6 +66,9 @@ int main(int argc, char** argv) {
     eng_opts.sim_threads =
         static_cast<std::uint32_t>(cli.integer("sim-threads"));
   }
+  obs::TelemetrySession telemetry;
+  telemetry.init(cli, "recommender_cf");
+  eng_opts.telemetry = telemetry.telemetry();
   runtime::Engine engine(rating_matrix, system, eng_opts);
   sim::MemProfiler profiler;
   if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
@@ -98,6 +103,9 @@ int main(int argc, char** argv) {
             << model.stats.seconds(system.freq_ghz) * 1e3 << " ms, "
             << model.stats.joules() * 1e3 << " mJ\n";
 
+  // Finalize before the report so the final flush snapshot and SLO
+  // verdict land in the telemetry section.
+  const int exit_code = telemetry.finalize();
   if (const std::string path = cli.str("report-out"); !path.empty()) {
     obs::Report report = runtime::make_run_report(engine, "recommender_cf");
     Json dataset = Json::object();
@@ -109,5 +117,5 @@ int main(int argc, char** argv) {
     report.write(path);
     std::cout << "wrote run report to " << path << "\n";
   }
-  return 0;
+  return exit_code;
 }

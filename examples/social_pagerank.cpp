@@ -10,6 +10,7 @@
 #include "baselines/ligra/apps.h"
 #include "common/cli.h"
 #include "graph/algorithms.h"
+#include "obs/telemetry.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
 #include "sim/profile.h"
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
                  "COSPARSE_SIM_THREADS is the fallback; results are "
                  "bit-identical for any value)",
                  "");
+  obs::TelemetrySession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
@@ -55,6 +57,9 @@ int main(int argc, char** argv) {
     eng_opts.sim_threads =
         static_cast<std::uint32_t>(cli.integer("sim-threads"));
   }
+  obs::TelemetrySession telemetry;
+  telemetry.init(cli, "social_pagerank");
+  eng_opts.telemetry = telemetry.telemetry();
   runtime::Engine engine(graph.adjacency(), system, eng_opts);
   sim::MemProfiler profiler;
   if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
@@ -91,6 +96,9 @@ int main(int argc, char** argv) {
             << ligra.costs.joules / result.stats.joules()
             << "x more energy-efficient here\n";
 
+  // Finalize before the report so the final flush snapshot and SLO
+  // verdict land in the telemetry section.
+  const int exit_code = telemetry.finalize();
   if (const std::string path = cli.str("report-out"); !path.empty()) {
     obs::Report report = runtime::make_run_report(engine, "social_pagerank");
     Json dataset = Json::object();
@@ -102,5 +110,5 @@ int main(int argc, char** argv) {
     report.write(path);
     std::cout << "wrote run report to " << path << "\n";
   }
-  return 0;
+  return exit_code;
 }

@@ -1,11 +1,13 @@
 #include "graph/algorithms.h"
 
+#include <chrono>
 #include <cmath>
 #include <string>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "kernels/semiring.h"
+#include "obs/telemetry.h"
 
 namespace cosparse::graph {
 namespace {
@@ -25,7 +27,8 @@ class StatsScope {
         algo_(algo),
         start_cycles_(eng.total_cycles()),
         start_energy_(eng.total_energy_pj()),
-        start_log_(eng.iterations().size()) {}
+        start_log_(eng.iterations().size()),
+        wall_begin_(std::chrono::steady_clock::now()) {}
 
   AlgoStats finish() const {
     AlgoStats s;
@@ -40,6 +43,19 @@ class StatsScope {
       m->counter(prefix + ".runs").inc();
       m->counter(prefix + ".iterations").inc(s.iterations);
       m->counter(prefix + ".cycles").inc(s.cycles);
+    }
+    if (obs::Telemetry* tel = eng_->telemetry(); tel != nullptr) {
+      const std::string prefix = std::string("algo.") + algo_;
+      tel->histogram(prefix + ".wall_ms")
+          .observe(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_begin_)
+                       .count());
+      auto& iter_cycles = tel->histogram(prefix + ".iter_cycles");
+      auto& frontier_nnz = tel->histogram(prefix + ".frontier_nnz");
+      for (const runtime::IterationRecord& r : s.per_iteration) {
+        iter_cycles.observe(static_cast<double>(r.cycles));
+        frontier_nnz.observe(static_cast<double>(r.frontier_nnz));
+      }
     }
     if (obs::Trace* t = eng_->trace(); t != nullptr && t->enabled()) {
       Json args = Json::object();
@@ -57,6 +73,7 @@ class StatsScope {
   Cycles start_cycles_;
   Picojoules start_energy_;
   std::size_t start_log_;
+  std::chrono::steady_clock::time_point wall_begin_;
 };
 
 }  // namespace

@@ -1,0 +1,140 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace cosparse::obs {
+
+Json HistogramSummary::to_json() const {
+  Json o = Json::object();
+  o["count"] = count;
+  o["sum"] = sum;
+  o["min"] = min;
+  o["max"] = max;
+  o["p50"] = p50;
+  o["p90"] = p90;
+  o["p99"] = p99;
+  o["p999"] = p999;
+  return o;
+}
+
+HistogramSummary HistogramSummary::from_json(const Json& j) {
+  COSPARSE_REQUIRE(j.is_object(), "histogram summary must be a JSON object");
+  const auto need = [&](const char* key) -> double {
+    const Json* v = j.find(key);
+    COSPARSE_REQUIRE(v != nullptr && v->is_number(),
+                     std::string("histogram summary missing field: ") + key);
+    return v->as_double();
+  };
+  HistogramSummary s;
+  s.count = static_cast<std::uint64_t>(need("count"));
+  s.sum = need("sum");
+  s.min = need("min");
+  s.max = need("max");
+  s.p50 = need("p50");
+  s.p90 = need("p90");
+  s.p99 = need("p99");
+  s.p999 = need("p999");
+  return s;
+}
+
+int StreamingHistogram::bucket_index(double v) {
+  // v = m * 2^e with m in [0.5, 1): octave e-1, mantissa2 = 2m in [1, 2).
+  int e = 0;
+  const double m = std::frexp(v, &e);
+  const int octave = e - 1;
+  if (octave < kMinExp) return 0;
+  if (octave >= kMaxExp) return kNumBuckets - 1;
+  const double mantissa2 = 2.0 * m;
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>((mantissa2 - 1.0) * kSubBuckets));
+  return (octave - kMinExp) * kSubBuckets + sub;
+}
+
+double StreamingHistogram::bucket_upper(int idx) {
+  if (idx >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  const int octave = kMinExp + idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, octave);
+}
+
+void StreamingHistogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    // Non-positive (and NaN, which fails every comparison) samples count
+    // into the zero bucket; +inf overflows like any too-large value.
+    if (std::isinf(v) && v > 0.0) {
+      if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+      ++buckets_[kNumBuckets - 1];
+    } else {
+      ++zero_count_;
+    }
+    return;
+  }
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  sum_ += other.sum_;
+  if (!other.buckets_.empty()) {
+    if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+    for (int i = 0; i < kNumBuckets; ++i) {
+      buckets_[static_cast<std::size_t>(i)] +=
+          other.buckets_[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+double StreamingHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = zero_count_;
+  if (target <= cum) return 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      return std::min(bucket_upper(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+HistogramSummary StreamingHistogram::summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  s.p999 = quantile(0.999);
+  return s;
+}
+
+}  // namespace cosparse::obs

@@ -1,0 +1,95 @@
+// Log-bucketed streaming histogram for continuous telemetry.
+//
+// HDR-style layout: each power-of-two octave is split into kSubBuckets
+// linear sub-buckets, so the relative bucket width — and therefore the
+// worst-case quantile error — is bounded by 1/kSubBuckets (6.25%). The
+// bucket layout is a compile-time constant shared by every histogram,
+// which makes merge() a plain element-wise add: exact for the integer
+// counts, and associative, so per-tile / per-thread histograms can be
+// folded in any grouping without changing the result. observe() is a
+// handful of arithmetic ops plus one array increment — cheap enough for
+// once-per-iteration hot paths (no locks; single-writer by design, see
+// obs/telemetry.h for the threading contract).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cosparse::obs {
+
+/// The percentile digest of one histogram at one point in time — what
+/// telemetry snapshots carry (the full bucket array stays in-process).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  [[nodiscard]] Json to_json() const;
+  /// Inverse of to_json(); throws cosparse::Error on missing fields.
+  [[nodiscard]] static HistogramSummary from_json(const Json& j);
+};
+
+class StreamingHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave; the quantile error bound
+  /// is one bucket, i.e. a relative error <= 1/kSubBuckets.
+  static constexpr int kSubBuckets = 16;
+  /// Smallest/largest finite octave: values span [2^-30, 2^34) ~
+  /// [9.3e-10, 1.7e10]; below-range values clamp into the first bucket,
+  /// above-range values land in the overflow bucket (upper edge +inf).
+  static constexpr int kMinExp = -30;
+  static constexpr int kMaxExp = 34;
+  static constexpr int kNumBuckets = (kMaxExp - kMinExp) * kSubBuckets + 1;
+
+  /// Records one sample. Non-positive values count into a dedicated zero
+  /// bucket (quantiles report them as 0).
+  void observe(double v);
+
+  /// Element-wise accumulation of `other` into this histogram. Integer
+  /// state (counts, buckets) merges exactly and associatively; `sum` is a
+  /// double accumulation, exact whenever the samples are.
+  void merge(const StreamingHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t zero_count() const { return zero_count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// The q-quantile (q in [0, 1]): the upper edge of the bucket holding
+  /// the rank-ceil(q*count) sample, clamped to the observed max — so the
+  /// true quantile lies within one bucket (<= 1/kSubBuckets relative
+  /// error) of the returned value.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] HistogramSummary summary() const;
+
+  /// Bucket geometry (exposed so tests can assert the error bound).
+  [[nodiscard]] static int bucket_index(double v);
+  /// Upper edge of bucket `idx` (+inf for the overflow bucket).
+  [[nodiscard]] static double bucket_upper(int idx);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< lazily sized to kNumBuckets
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cosparse::obs

@@ -17,6 +17,16 @@ void Report::set(const std::string& key, Json value) {
   doc_[key] = std::move(value);
 }
 
+Json results_subset(const Json& report) {
+  Json out = Json::object();
+  if (!report.is_object()) return out;
+  for (const auto& [key, value] : report.members()) {
+    if (key == "telemetry") continue;
+    out[key] = value;
+  }
+  return out;
+}
+
 void Report::write(const std::string& path) const {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());

@@ -40,4 +40,12 @@ class Report {
   Json doc_;
 };
 
+/// The simulated-results subset of a run report: every section except the
+/// wall-clock-bearing "telemetry" one. Telemetry is bit-neutral to
+/// simulated results, so this subset must be byte-identical between a
+/// telemetry-on and a telemetry-off run of the same workload — the
+/// differential harness and the CI baseline comparison both diff exactly
+/// this document (see also `cosparse-prof extract`).
+[[nodiscard]] Json results_subset(const Json& report);
+
 }  // namespace cosparse::obs

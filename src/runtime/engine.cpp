@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "kernels/region_plan.h"
+#include "obs/telemetry.h"
 
 namespace cosparse::runtime {
 
@@ -14,8 +15,10 @@ Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
       amap_(machine_),
       decider_(cfg, opts.thresholds),
       trace_(opts.trace),
-      metrics_(opts.metrics) {
+      metrics_(opts.metrics),
+      telemetry_(opts.telemetry) {
   machine_.set_trace(trace_);
+  machine_.set_telemetry(telemetry_);
   // Tile-parallel simulation: an external executor wins; otherwise resolve
   // sim_threads (nullopt -> COSPARSE_SIM_THREADS) and own the pool. Thread
   // count never changes results (sim::Machine::for_tiles).
@@ -149,7 +152,33 @@ IterationRecord iteration_record_from_json(const Json& j) {
 }
 
 void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
-                              Cycles kernel_begin, Cycles kernel_end) {
+                              Cycles kernel_begin, Cycles kernel_end,
+                              double wall_ms) {
+  if (telemetry_ != nullptr) {
+    telemetry_->histogram("engine.iteration_ms").observe(wall_ms);
+    telemetry_->histogram("engine.iteration_cycles")
+        .observe(static_cast<double>(rec.cycles));
+    telemetry_->histogram("engine.kernel_cycles")
+        .observe(static_cast<double>(kernel_end - kernel_begin));
+    telemetry_->histogram("engine.frontier_density").observe(rec.density);
+    if (rec.converted_frontier) {
+      telemetry_->histogram("engine.convert_cycles")
+          .observe(static_cast<double>(rec.convert_cycles));
+    }
+    // Snapshot pulse. The extra sampler runs only when the cadence fires:
+    // per-tile busy cycles feed cosparse-top's tile bars.
+    telemetry_->tick(rec.index + 1, [this] {
+      Json ex = Json::object();
+      Json tiles = Json::array();
+      for (const sim::Stats& t : machine_.tile_stats()) {
+        tiles.push_back(t.pe_compute_cycles + t.pe_mem_stall_cycles);
+      }
+      ex["tile_busy_cycles"] = std::move(tiles);
+      ex["load_imbalance"] = machine_.load_imbalance();
+      ex["hw"] = sim::to_string(machine_.hw());
+      return ex;
+    });
+  }
   if (metrics_ != nullptr) {
     metrics_->counter("engine.iterations").inc();
     if (rec.sw_switched) metrics_->counter("engine.sw_switches").inc();

@@ -15,6 +15,7 @@
 // matrix once at construction (paper Fig. 2).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -32,6 +33,10 @@
 #include "sim/machine.h"
 #include "sim/parallel.h"
 #include "sparse/formats.h"
+
+namespace cosparse::obs {
+class Telemetry;
+}  // namespace cosparse::obs
 
 namespace cosparse::runtime {
 
@@ -56,6 +61,13 @@ struct EngineOptions {
   /// pointer test per iteration.
   obs::Trace* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Continuous telemetry registry (obs/telemetry.h; not owned). The
+  /// engine observes per-iteration wall/cycle/density histograms, attaches
+  /// the registry to the machine for tile-phase fill/replay timing, and
+  /// pulses the snapshot cadence once per spmv() call. Telemetry only
+  /// reads simulator state, so results are bit-identical with it on or
+  /// off (the differential harness enforces this).
+  obs::Telemetry* telemetry = nullptr;
   /// Host threads for tile-parallel simulation. nullopt resolves
   /// COSPARSE_SIM_THREADS (unset/invalid -> serial); an explicit 0 forces
   /// serial simulation regardless of the environment; N >= 1 makes the
@@ -168,6 +180,9 @@ class Engine {
   /// attached); graph algorithms use it for their own counters.
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
   [[nodiscard]] obs::Trace* trace() const { return trace_; }
+  /// The continuous-telemetry registry (nullptr when none was attached);
+  /// report.cpp folds its digests into the run report's telemetry section.
+  [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
 
   [[nodiscard]] const std::vector<IterationRecord>& iterations() const {
     return log_;
@@ -199,7 +214,8 @@ class Engine {
   /// sinks (no-op without sinks). Lives in engine.cpp so the template
   /// above stays lean.
   void record_iteration(const IterationRecord& rec, Cycles iter_begin,
-                        Cycles kernel_begin, Cycles kernel_end);
+                        Cycles kernel_begin, Cycles kernel_end,
+                        double wall_ms);
 
   EngineOptions opts_;
   std::unique_ptr<sim::ParallelExecutor> owned_exec_;  ///< see sim_threads
@@ -230,6 +246,7 @@ class Engine {
   std::optional<SwConfig> last_sw_;
   obs::Trace* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 // ---- template implementation ----
@@ -237,6 +254,7 @@ class Engine {
 template <kernels::Semiring S>
 Engine::Output Engine::spmv(const Frontier& f, const S& sr,
                             const sparse::DenseVector* dst_old) {
+  const auto wall_begin = std::chrono::steady_clock::now();
   const Cycles start_cycles = machine_.cycles();
   const sim::Stats start_stats = machine_.stats();
 
@@ -304,7 +322,10 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
   rec.energy_pj = sim::EnergyModel{}.total(
       machine_.config(), machine_.stats() - start_stats, rec.cycles);
   log_.push_back(rec);
-  record_iteration(rec, start_cycles, kernel_begin, kernel_end);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_begin)
+                             .count();
+  record_iteration(rec, start_cycles, kernel_begin, kernel_end, wall_ms);
   return out;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "common/error.h"
+#include "obs/telemetry.h"
 #include "sim/parallel.h"
 #include "sim/profile.h"
 
@@ -136,6 +138,21 @@ void Machine::set_executor(ParallelExecutor* exec) {
   exec_ = exec;
 }
 
+void Machine::set_telemetry(obs::Telemetry* telemetry) {
+  COSPARSE_CHECK_MSG(!phase_active_, "set_telemetry() is phase-illegal");
+  telemetry_ = telemetry;
+}
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
   COSPARSE_CHECK_MSG(!phase_active_, "for_tiles() does not nest");
   const std::uint32_t T = cfg_.num_tiles;
@@ -144,12 +161,25 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
     for (std::uint32_t t = 0; t < T; ++t) fn(t);
     return;
   }
+  // Phase timing (ROADMAP item 5: localize the replay bottleneck). Workers
+  // write only their own slot of tile_fill_ms_; histograms are observed
+  // after the join, on this thread — telemetry reads wall clocks only, so
+  // the simulated event stream is identical with or without it.
+  const bool timed = telemetry_ != nullptr;
+  const auto phase_t0 = std::chrono::steady_clock::now();
+  if (timed) tile_fill_ms_.assign(T, 0.0);
   tile_log_.assign(T, {});
   phase_active_ = true;
   try {
     exec_->run(T, [&](std::uint32_t t) {
       t_phase_tile = t;
-      fn(t);
+      if (timed) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn(t);
+        tile_fill_ms_[t] = wall_ms_since(t0);
+      } else {
+        fn(t);
+      }
       t_phase_tile = kNoTile;
     });
   } catch (...) {
@@ -160,7 +190,19 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
   phase_active_ = false;
   // Deterministic merge: replay in ascending tile order — the exact order
   // the serial engine interleaves tiles in.
-  for (std::uint32_t t = 0; t < T; ++t) replay_tile(t);
+  if (timed) {
+    auto& fill_hist = telemetry_->histogram("sim.tile_fill_ms");
+    for (std::uint32_t t = 0; t < T; ++t) fill_hist.observe(tile_fill_ms_[t]);
+    auto& replay_hist = telemetry_->histogram("sim.replay_ms");
+    for (std::uint32_t t = 0; t < T; ++t) {
+      const auto t0 = std::chrono::steady_clock::now();
+      replay_tile(t);
+      replay_hist.observe(wall_ms_since(t0));
+    }
+    telemetry_->histogram("sim.phase_ms").observe(wall_ms_since(phase_t0));
+  } else {
+    for (std::uint32_t t = 0; t < T; ++t) replay_tile(t);
+  }
   tile_log_.clear();
 }
 

@@ -43,6 +43,10 @@
 #include "sim/energy.h"
 #include "sim/stats.h"
 
+namespace cosparse::obs {
+class Telemetry;
+}  // namespace cosparse::obs
+
 namespace cosparse::sim {
 
 class MemProfiler;
@@ -167,6 +171,19 @@ class Machine {
   void set_profiler(MemProfiler* prof);
   [[nodiscard]] MemProfiler* profiler() const { return prof_; }
 
+  /// Attaches a telemetry registry (obs/telemetry.h). With an executor
+  /// attached, every for_tiles() phase then observes host wall time into
+  /// three histograms — "sim.tile_fill_ms" (one sample per tile body, the
+  /// log-fill running on worker threads), "sim.replay_ms" (one sample per
+  /// tile, the serial replay) and "sim.phase_ms" (one sample per phase) —
+  /// the ROADMAP item 5 replay-bottleneck breakdown. Workers only write
+  /// their own slot of a per-tile scratch vector; histograms are observed
+  /// after the phase joins, on the calling thread, so telemetry never
+  /// races and never perturbs simulated state (wall time is host-side).
+  /// Pass nullptr to detach.
+  void set_telemetry(obs::Telemetry* telemetry);
+  [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
+
   // ---- results ----
   /// Elapsed cycles: max over PE/LCP clocks, floored by the DRAM bandwidth
   /// roofline (total bytes moved / peak bandwidth).
@@ -243,9 +260,11 @@ class Machine {
   EnergyModel energy_;
   obs::Trace* trace_ = nullptr;
   MemProfiler* prof_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   ParallelExecutor* exec_ = nullptr;
   bool phase_active_ = false;  ///< a for_tiles() phase is running on workers
   std::vector<std::vector<std::uint64_t>> tile_log_;  ///< per-tile event logs
+  std::vector<double> tile_fill_ms_;  ///< per-tile body wall ms, slot-private
 
   std::vector<AllocRecord> allocs_;  ///< replayed into late-attached profilers
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/report.h"
+#include "verify/telemetry_lint.h"
 
 namespace cosparse::verify {
 
@@ -277,6 +278,7 @@ std::vector<Finding> lint_run_report(const Json& doc) {
   lint_iterations(doc, out);
   lint_memory_profile(doc, out);
   lint_decision_audit(doc, out);
+  for (Finding& f : lint_telemetry_section(doc)) out.push_back(std::move(f));
   return out;
 }
 

@@ -1,0 +1,152 @@
+// StreamingHistogram unit tests: bucket geometry, the one-bucket quantile
+// error bound, exact/associative merges, and the JSON round-trip the
+// telemetry snapshots rely on.
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cosparse::obs {
+namespace {
+
+TEST(StreamingHistogram, BucketBoundariesCoverEveryOctaveUniformly) {
+  // Within one octave [2^e, 2^(e+1)) the kSubBuckets sub-buckets split the
+  // range linearly; the index must be monotone and the upper edge of
+  // bucket i must be the first value mapping to bucket i+1.
+  for (const int exp : {-3, 0, 5, 20}) {
+    const double lo = std::ldexp(1.0, exp);
+    const int base = StreamingHistogram::bucket_index(lo);
+    for (int sub = 0; sub < StreamingHistogram::kSubBuckets; ++sub) {
+      const double width = lo / StreamingHistogram::kSubBuckets;
+      const double inside = lo + (sub + 0.5) * width;
+      EXPECT_EQ(StreamingHistogram::bucket_index(inside), base + sub)
+          << "exp=" << exp << " sub=" << sub;
+      // The upper edge is exclusive: it belongs to the next bucket.
+      const double upper = StreamingHistogram::bucket_upper(base + sub);
+      EXPECT_EQ(StreamingHistogram::bucket_index(upper), base + sub + 1);
+    }
+  }
+}
+
+TEST(StreamingHistogram, BucketIndexIsMonotone) {
+  int prev = -1;
+  for (double v = 1e-6; v < 1e8; v *= 1.037) {
+    const int idx = StreamingHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    prev = idx;
+  }
+}
+
+TEST(StreamingHistogram, OutOfRangeValuesClampInsteadOfCrashing) {
+  StreamingHistogram h;
+  h.observe(1e-300);  // below 2^-30: clamps into the first bucket
+  h.observe(1e300);   // above 2^34: overflow bucket
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3u);
+  // Quantiles stay finite: they clamp to the observed max.
+  EXPECT_TRUE(std::isinf(h.max()));
+  EXPECT_GT(h.quantile(0.5), 0.0);
+}
+
+TEST(StreamingHistogram, NonPositiveValuesLandInTheZeroBucket) {
+  StreamingHistogram h;
+  h.observe(0.0);
+  h.observe(-5.0);
+  h.observe(std::nan(""));
+  h.observe(8.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.zero_count(), 3u);
+  // Ranks 1..3 are zero samples; only the last quantile sees 8.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(StreamingHistogram, QuantileErrorIsWithinOneBucket) {
+  // The documented bound: the reported quantile is the upper edge of the
+  // bucket holding the true rank sample, so |reported - true| <=
+  // one bucket width <= true / kSubBuckets.
+  Rng rng(99);
+  std::vector<double> samples;
+  StreamingHistogram h;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 0.001 + 1000.0 * rng.next_double() * rng.next_double();
+    samples.push_back(v);
+    h.observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double truth = samples[rank - 1];
+    const double got = h.quantile(q);
+    EXPECT_GE(got, truth) << "q=" << q;  // upper edge never undershoots
+    EXPECT_LE(got - truth,
+              truth / StreamingHistogram::kSubBuckets + 1e-12)
+        << "q=" << q;
+  }
+}
+
+TEST(StreamingHistogram, MergeIsExactAndAssociative) {
+  Rng rng(7);
+  // Three shards plus the all-in-one reference.
+  StreamingHistogram a, b, c, all;
+  for (int i = 0; i < 900; ++i) {
+    const double v = rng.next_double() * 50.0;
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).observe(v);
+    all.observe(v);
+  }
+  // (a + b) + c and a + (b + c) give identical state to the reference.
+  StreamingHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  StreamingHistogram bc = b;
+  bc.merge(c);
+  StreamingHistogram right = a;
+  right.merge(bc);
+  for (const StreamingHistogram* m : {&left, &right}) {
+    EXPECT_EQ(m->count(), all.count());
+    EXPECT_EQ(m->zero_count(), all.zero_count());
+    EXPECT_EQ(m->buckets(), all.buckets());
+    EXPECT_DOUBLE_EQ(m->min(), all.min());
+    EXPECT_DOUBLE_EQ(m->max(), all.max());
+    for (const double q : {0.5, 0.9, 0.99})
+      EXPECT_DOUBLE_EQ(m->quantile(q), all.quantile(q));
+  }
+}
+
+TEST(StreamingHistogram, MergingAnEmptyHistogramIsIdentity) {
+  StreamingHistogram h, empty;
+  h.observe(3.0);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  StreamingHistogram other = empty;
+  other.merge(h);
+  EXPECT_EQ(other.count(), 1u);
+  EXPECT_DOUBLE_EQ(other.max(), 3.0);
+}
+
+TEST(HistogramSummary, JsonRoundTripIsLossless) {
+  StreamingHistogram h;
+  for (const double v : {0.25, 1.5, 1.5, 40.0, 1e4}) h.observe(v);
+  const HistogramSummary s = h.summary();
+  const HistogramSummary back = HistogramSummary::from_json(s.to_json());
+  EXPECT_EQ(back.count, s.count);
+  EXPECT_DOUBLE_EQ(back.sum, s.sum);
+  EXPECT_DOUBLE_EQ(back.min, s.min);
+  EXPECT_DOUBLE_EQ(back.max, s.max);
+  EXPECT_DOUBLE_EQ(back.p50, s.p50);
+  EXPECT_DOUBLE_EQ(back.p90, s.p90);
+  EXPECT_DOUBLE_EQ(back.p99, s.p99);
+  EXPECT_DOUBLE_EQ(back.p999, s.p999);
+  EXPECT_DOUBLE_EQ(s.mean(), s.sum / static_cast<double>(s.count));
+}
+
+}  // namespace
+}  // namespace cosparse::obs

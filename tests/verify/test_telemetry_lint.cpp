@@ -1,0 +1,160 @@
+// Telemetry lint pass tests: report-section schema validation, JSONL
+// stream monotonicity (seq / wall_ms / iterations), and the OpenMetrics
+// text-exposition checks — each seeded defect must surface the right
+// finding id, and the real exporters' output must pass clean.
+#include "verify/telemetry_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/exporter.h"
+#include "obs/telemetry.h"
+
+namespace cosparse::verify {
+namespace {
+
+bool has_id(const std::vector<Finding>& findings, const std::string& id) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.id == id; });
+}
+
+// ---- the run-report telemetry section ----
+
+TEST(TelemetryLint, AbsentSectionIsClean) {
+  EXPECT_TRUE(lint_telemetry_section(Json::parse(R"({"tool":"x"})")).empty());
+}
+
+TEST(TelemetryLint, RealReportSectionPassesClean) {
+  // Build the section the way the runtime does, not from a literal.
+  obs::Telemetry t(obs::TelemetryConfig::parse("1i"), [] { return 1.0; });
+  t.set_header("tool", "unit");
+  t.histogram("m").observe(2.0);
+  t.tick(1);
+  Json doc = Json::object();
+  doc["telemetry"] = t.report_json();
+  EXPECT_TRUE(lint_telemetry_section(doc).empty());
+}
+
+TEST(TelemetryLint, DetectsBadSchemaAndMissingFields) {
+  const Json doc = Json::parse(
+      R"({"telemetry":{"schema":"bogus/v9","hist":{}}})");
+  const auto f = lint_telemetry_section(doc);
+  EXPECT_TRUE(has_id(f, "telemetry.bad-schema"));
+  EXPECT_TRUE(has_id(f, "telemetry.missing-field"));  // no snapshots count
+}
+
+TEST(TelemetryLint, DetectsNonMonotoneQuantileLadder) {
+  const Json doc = Json::parse(R"({"telemetry":{
+    "schema":"cosparse.telemetry/v1","snapshots":1,
+    "hist":{"m":{"count":3,"sum":6,"min":1,"max":3,
+                 "p50":2,"p90":5,"p99":2,"p999":2}}}})");
+  EXPECT_TRUE(has_id(lint_telemetry_section(doc), "telemetry.quantile-order"));
+}
+
+// ---- JSONL streams ----
+
+std::string snapshot_line(std::uint64_t seq, double wall_ms,
+                          std::uint64_t iterations) {
+  Json o = Json::object();
+  o["schema"] = obs::kTelemetrySchema;
+  o["seq"] = seq;
+  o["wall_ms"] = wall_ms;
+  o["iterations"] = iterations;
+  Json header = Json::object();
+  header["tool"] = "unit";
+  header["sim_threads"] = 0;
+  o["header"] = std::move(header);
+  o["hist"] = Json::object();
+  return o.dump();
+}
+
+TEST(TelemetryLint, WellFormedJsonlStreamPassesClean) {
+  const std::string text = snapshot_line(0, 1.0, 1) + "\n" +
+                           snapshot_line(1, 2.0, 2) + "\n" +
+                           snapshot_line(2, 2.0, 2) + "\n";  // flush repeat ok
+  EXPECT_TRUE(lint_telemetry_jsonl(text).empty());
+}
+
+TEST(TelemetryLint, DetectsUnparseableLines) {
+  EXPECT_TRUE(has_id(lint_telemetry_jsonl("{not json\n"), "telemetry.bad-json"));
+}
+
+TEST(TelemetryLint, DetectsSeqNotStrictlyIncreasing) {
+  const std::string text =
+      snapshot_line(0, 1.0, 1) + "\n" + snapshot_line(0, 2.0, 2) + "\n";
+  EXPECT_TRUE(has_id(lint_telemetry_jsonl(text), "telemetry.seq-not-increasing"));
+}
+
+TEST(TelemetryLint, DetectsWallClockAndProgressRegressions) {
+  const std::string text =
+      snapshot_line(0, 5.0, 4) + "\n" + snapshot_line(1, 2.0, 3) + "\n";
+  const auto f = lint_telemetry_jsonl(text);
+  EXPECT_TRUE(has_id(f, "telemetry.time-regression"));
+  EXPECT_TRUE(has_id(f, "telemetry.progress-regression"));
+}
+
+TEST(TelemetryLint, WarnsWhenHeaderLacksToolOrSimThreads) {
+  const std::string text =
+      R"({"schema":"cosparse.telemetry/v1","seq":0,"wall_ms":1,)"
+      R"("iterations":1,"header":{},"hist":{}})" "\n";
+  const auto f = lint_telemetry_jsonl(text);
+  EXPECT_TRUE(has_id(f, "telemetry.missing-header"));
+  // A warning, not an error: old streams stay readable.
+  for (const Finding& finding : f) {
+    if (finding.id == "telemetry.missing-header") {
+      EXPECT_EQ(finding.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(TelemetryLint, FlagsEmptyStreams) {
+  EXPECT_TRUE(has_id(lint_telemetry_jsonl(""), "telemetry.empty-stream"));
+  EXPECT_TRUE(has_id(lint_telemetry_jsonl("\n\n"), "telemetry.empty-stream"));
+}
+
+// ---- OpenMetrics expositions ----
+
+TEST(TelemetryLint, RealExpositionPassesClean) {
+  obs::StreamingHistogram h;
+  h.observe(2.5);
+  obs::TelemetrySnapshot snap;
+  snap.seq = 3;
+  snap.wall_ms = 10.0;
+  snap.iterations = 7;
+  snap.hist.emplace_back("engine.iteration_ms", h.summary());
+  EXPECT_TRUE(lint_openmetrics(obs::to_openmetrics(snap)).empty());
+}
+
+TEST(TelemetryLint, DetectsMissingEofTerminator) {
+  EXPECT_TRUE(has_id(lint_openmetrics("cosparse_x 1\n"),
+                     "openmetrics.missing-eof"));
+}
+
+TEST(TelemetryLint, DetectsTextAfterEof) {
+  EXPECT_TRUE(has_id(lint_openmetrics("cosparse_x 1\n# EOF\ncosparse_y 2\n"),
+                     "openmetrics.text-after-eof"));
+}
+
+TEST(TelemetryLint, DetectsBadNamesTypesAndValues) {
+  const auto f = lint_openmetrics(
+      "# TYPE 9bad counter\n"
+      "# TYPE cosparse_x flavor\n"
+      "cosparse_x notanumber\n"
+      "# EOF\n");
+  EXPECT_TRUE(has_id(f, "openmetrics.bad-name"));
+  EXPECT_TRUE(has_id(f, "openmetrics.bad-type"));
+  EXPECT_TRUE(has_id(f, "openmetrics.bad-value"));
+}
+
+TEST(TelemetryLint, WarnsOnSamplelessExposition) {
+  const auto f = lint_openmetrics("# EOF\n");
+  EXPECT_TRUE(has_id(f, "openmetrics.empty"));
+  EXPECT_FALSE(has_id(f, "openmetrics.missing-eof"));
+}
+
+}  // namespace
+}  // namespace cosparse::verify

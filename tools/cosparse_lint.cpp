@@ -8,17 +8,20 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "verify/telemetry_lint.h"
 
 namespace cosparse::tools {
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: cosparse-lint [plan|report] <file.json>... [options]\n"
+    "usage: cosparse-lint [plan|report|telemetry] <file>... [options]\n"
     "\n"
     "subcommands:\n"
-    "  plan    lint cosparse.run_plan/v1 documents (default)\n"
-    "  report  lint cosparse.run_report/v1 documents\n"
+    "  plan       lint cosparse.run_plan/v1 documents (default)\n"
+    "  report     lint cosparse.run_report/v1 documents\n"
+    "  telemetry  lint exported telemetry files: *.prom/*.txt as\n"
+    "             OpenMetrics text, anything else as snapshot JSONL\n"
     "\n"
     "options:\n"
     "  --json               print cosparse.lint_report/v1 JSON instead of "
@@ -38,7 +41,8 @@ bool parse_args(int argc, const char* const* argv, Options& opts,
                 std::ostream& err) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::size_t i = 0;
-  if (!args.empty() && (args[0] == "plan" || args[0] == "report")) {
+  if (!args.empty() &&
+      (args[0] == "plan" || args[0] == "report" || args[0] == "telemetry")) {
     opts.subcommand = args[0];
     ++i;
   }
@@ -101,15 +105,26 @@ int lint_main(int argc, const char* const* argv, std::ostream& out,
     buf << in.rdbuf();
 
     verify::LintReport report(path);
-    try {
-      const Json doc = Json::parse(buf.str());
-      report = opts.subcommand == "report"
-                   ? verify::lint_run_report_json(doc, path)
-                   : verify::lint_plan_json(doc, path);
-    } catch (const Error& e) {
-      report.add(verify::Finding{
-          "plan", "plan.unparseable", verify::Severity::kError, e.what(),
-          verify::Location::document("(root)")});
+    if (opts.subcommand == "telemetry") {
+      // Dispatch on file shape: OpenMetrics text exposition vs snapshot
+      // JSONL (both produced by the telemetry exporter).
+      const bool openmetrics = path.size() >= 5 &&
+                               (path.substr(path.size() - 5) == ".prom" ||
+                                path.substr(path.size() - 4) == ".txt");
+      report.add(openmetrics ? verify::lint_openmetrics(buf.str())
+                             : verify::lint_telemetry_jsonl(buf.str()));
+      report.sort_by_severity();
+    } else {
+      try {
+        const Json doc = Json::parse(buf.str());
+        report = opts.subcommand == "report"
+                     ? verify::lint_run_report_json(doc, path)
+                     : verify::lint_plan_json(doc, path);
+      } catch (const Error& e) {
+        report.add(verify::Finding{
+            "plan", "plan.unparseable", verify::Severity::kError, e.what(),
+            verify::Location::document("(root)")});
+      }
     }
 
     if (opts.json) {

@@ -13,7 +13,14 @@
 //   report <report.json>... [--json] [--strict]
 //     runs the schema/invariant pass over cosparse.run_report/v1
 //     documents — the same checks the check_report smoke gate and the
-//     observability unit tests enforce.
+//     observability unit tests enforce (including the telemetry section
+//     when present).
+//
+//   telemetry <file>... [--json] [--strict]
+//     lints exported telemetry artifacts: *.prom / *.txt files as
+//     OpenMetrics text expositions, everything else as snapshot JSONL
+//     streams (schema per line, strictly increasing seq, monotone
+//     wall_ms/iterations).
 //
 // The driver logic lives here (library target cosparse_lint_lib) so
 // tests/tools/test_cosparse_lint.cpp can run the CLI on crafted plans

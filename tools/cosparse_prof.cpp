@@ -8,6 +8,8 @@
 
 #include "common/error.h"
 #include "common/table.h"
+#include "obs/histogram.h"
+#include "obs/report.h"
 
 namespace cosparse::tools {
 
@@ -335,6 +337,79 @@ void summarize_report(std::ostream& os, const Json& doc,
   os << "\n";
 }
 
+void summarize_telemetry(std::ostream& os, const std::string& jsonl_text,
+                         const std::string& name) {
+  os << "=== " << name << " (telemetry) ===\n";
+  std::istringstream in(jsonl_text);
+  std::string line;
+  std::vector<Json> snaps;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      snaps.push_back(Json::parse(line));
+    } catch (const Error& e) {
+      throw Error(name + " line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (snaps.empty()) {
+    os << "(no snapshots)\n\n";
+    return;
+  }
+  if (const Json* header = snaps.back().find("header");
+      header != nullptr && header->is_object()) {
+    os << "header:";
+    for (const auto& [key, value] : header->members()) {
+      os << " " << key << "="
+         << (value.is_string() ? value.as_string() : value.dump());
+    }
+    os << "\n";
+  }
+  // Digests are cumulative, so the Δcount column shows each snapshot
+  // window's own sample count.
+  std::vector<std::pair<std::string, double>> prev_counts;
+  const auto prev_count_of = [&](const std::string& metric) {
+    for (const auto& [m, c] : prev_counts) {
+      if (m == metric) return c;
+    }
+    return 0.0;
+  };
+  for (const Json& snap : snaps) {
+    bool f = false;
+    os << "\nsnapshot " << fmt_count(number_at(snap, "seq", &f))
+       << "  wall_ms=" << Table::fmt(number_at(snap, "wall_ms", &f), 3)
+       << "  iterations=" << fmt_count(number_at(snap, "iterations", &f))
+       << "\n";
+    const Json* hist = snap.find("hist");
+    if (hist == nullptr || !hist->is_object()) continue;
+    Table t({"metric", "count", "Δcount", "mean", "p50", "p90", "p99",
+             "p999", "max"});
+    std::vector<std::pair<std::string, double>> counts;
+    for (const auto& [metric, digest] : hist->members()) {
+      const obs::HistogramSummary s = obs::HistogramSummary::from_json(digest);
+      const double dcount =
+          static_cast<double>(s.count) - prev_count_of(metric);
+      counts.emplace_back(metric, static_cast<double>(s.count));
+      t.add_row({metric, fmt_count(static_cast<double>(s.count)),
+                 fmt_count(dcount), Table::fmt(s.mean()), Table::fmt(s.p50),
+                 Table::fmt(s.p90), Table::fmt(s.p99), Table::fmt(s.p999),
+                 Table::fmt(s.max)});
+    }
+    t.print(os);
+    prev_counts = std::move(counts);
+    if (const Json* violations = snap.find("slo_violations");
+        violations != nullptr && violations->is_array()) {
+      for (const Json& v : violations->items()) {
+        const Json* msg = v.find("message");
+        os << "SLO: " << (msg != nullptr ? msg->as_string() : v.dump())
+           << "\n";
+      }
+    }
+  }
+  os << "\n";
+}
+
 namespace {
 
 Json load_report(const std::string& path) {
@@ -345,11 +420,21 @@ Json load_report(const std::string& path) {
   return Json::parse(buf.str());
 }
 
+std::string load_text(const std::string& path) {
+  std::ifstream in(path);
+  COSPARSE_REQUIRE(in.good(), "cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 int usage(std::ostream& os) {
   os << "usage:\n"
-     << "  cosparse-prof summarize <report.json>...\n"
+     << "  cosparse-prof summarize <report.json>..."
+     << " [--telemetry <file.jsonl>]...\n"
      << "  cosparse-prof diff <baseline.json> <candidate.json>"
-     << " [--max-regress 5%]\n";
+     << " [--max-regress 5%]\n"
+     << "  cosparse-prof extract <report.json> [--out <file>]\n";
   return 2;
 }
 
@@ -360,9 +445,55 @@ int prof_main(int argc, const char* const* argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "summarize") {
-      if (argc < 3) return usage(std::cerr);
+      std::vector<std::string> reports;
+      std::vector<std::string> telemetry;
       for (int i = 2; i < argc; ++i) {
-        summarize_report(std::cout, load_report(argv[i]), argv[i]);
+        const std::string arg = argv[i];
+        if (arg == "--telemetry") {
+          COSPARSE_REQUIRE(i + 1 < argc, "--telemetry: missing value");
+          telemetry.push_back(argv[++i]);
+        } else if (arg.rfind("--telemetry=", 0) == 0) {
+          telemetry.push_back(arg.substr(sizeof("--telemetry=") - 1));
+        } else if (!arg.empty() && arg[0] == '-') {
+          std::cerr << "cosparse-prof: unknown option " << arg << "\n";
+          return 2;
+        } else {
+          reports.push_back(arg);
+        }
+      }
+      if (reports.empty() && telemetry.empty()) return usage(std::cerr);
+      for (const std::string& path : reports) {
+        summarize_report(std::cout, load_report(path), path);
+      }
+      for (const std::string& path : telemetry) {
+        summarize_telemetry(std::cout, load_text(path), path);
+      }
+      return 0;
+    }
+    if (cmd == "extract") {
+      std::vector<std::string> files;
+      std::string out_path;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out") {
+          COSPARSE_REQUIRE(i + 1 < argc, "--out: missing value");
+          out_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+          std::cerr << "cosparse-prof: unknown option " << arg << "\n";
+          return 2;
+        } else {
+          files.push_back(arg);
+        }
+      }
+      if (files.size() != 1) return usage(std::cerr);
+      const std::string text =
+          obs::results_subset(load_report(files[0])).dump(1) + "\n";
+      if (out_path.empty()) {
+        std::cout << text;
+      } else {
+        std::ofstream o(out_path);
+        COSPARSE_REQUIRE(o.good(), "cannot write " + out_path);
+        o << text;
       }
       return 0;
     }

@@ -1,12 +1,16 @@
 // cosparse-prof: offline analysis of cosparse.run_report/v1 documents.
 //
-// Two subcommands, both operating purely on report JSON (no simulator
-// dependency, so reports from different builds remain comparable):
+// Three subcommands, all operating purely on report/telemetry JSON (no
+// simulator dependency, so reports from different builds remain
+// comparable):
 //
-//   summarize <report.json>...
+//   summarize <report.json>... [--telemetry <file.jsonl>]...
 //     prints, per report, the memory-profile region and per-tile breakdown
 //     tables and the decision-audit timeline (one row per SpMV invocation:
 //     features, CVD margin, chosen config, counterfactual estimates).
+//     Each --telemetry file is summarized as per-snapshot percentile
+//     tables (count/Δcount/mean/p50/p90/p99/p999/max per metric) so an
+//     exported cosparse.telemetry/v1 stream can be read offline.
 //
 //   diff <baseline.json> <candidate.json> [--max-regress 5%]
 //     compares the candidate against the baseline on the gated metrics
@@ -14,6 +18,12 @@
 //     per-region miss deltas, and exits nonzero when any gated metric
 //     regressed by more than the allowed fraction — the CI gate against a
 //     committed golden baseline.
+//
+//   extract <report.json> [--out <file>]
+//     writes the simulated-results subset of a run report (every section
+//     except the wall-clock-bearing "telemetry" one, obs::results_subset)
+//     so CI can byte-compare a telemetry-on run against the telemetry-off
+//     baseline with plain cmp.
 //
 // The comparison/summary logic lives in this header's functions (library
 // target cosparse_prof_lib) so tests/tools/test_cosparse_prof.cpp can
@@ -64,6 +74,11 @@ void print_diff(std::ostream& os, const DiffResult& result,
 /// Prints the summary tables for one report document.
 void summarize_report(std::ostream& os, const Json& doc,
                       const std::string& name);
+
+/// Prints per-snapshot percentile tables for a telemetry JSONL stream
+/// (the full file contents). Throws cosparse::Error on unparseable lines.
+void summarize_telemetry(std::ostream& os, const std::string& jsonl_text,
+                         const std::string& name);
 
 /// Full CLI (argument parsing + file IO). Returns the process exit code:
 /// 0 ok, 1 regression or validation failure, 2 usage error.

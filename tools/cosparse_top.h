@@ -1,0 +1,41 @@
+// cosparse-top: live terminal dashboard over a telemetry JSONL stream.
+//
+// Tails the --telemetry-out file written by the TelemetryExporter and
+// renders a refreshing per-run dashboard: the self-describing snapshot
+// header, progress (iteration count + rate derived from consecutive
+// snapshots), a per-metric percentile table, per-tile busy-cycle bars
+// from the snapshot's `extra.tile_busy_cycles` sampler, and any SLO
+// violations the watchdog recorded. One-shot by default ("render the
+// stream as it stands now"); --follow re-reads the file on a cadence and
+// repaints with an ANSI home+clear, giving a `top`-style live view of a
+// running simulation.
+//
+// The renderer is a pure function of the parsed snapshot list (library
+// target cosparse_top_lib) so tests/tools/test_cosparse_top.cpp can
+// drive it on crafted streams; cosparse_top_main.cpp is a thin wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cosparse::tools {
+
+/// Parses a telemetry JSONL stream into snapshot objects. Unparseable
+/// lines are skipped (a live tail can observe a torn final line mid-write)
+/// and blank lines ignored, so the result is always the complete prefix.
+[[nodiscard]] std::vector<Json> parse_snapshots(const std::string& text);
+
+/// Renders one dashboard frame for the stream (see file comment for the
+/// layout). An empty snapshot list renders a "waiting for snapshots"
+/// placeholder so --follow can start before the producer's first tick.
+void render_dashboard(std::ostream& os, const std::vector<Json>& snaps);
+
+/// Full CLI: cosparse-top <file.jsonl> [--follow] [--refresh-ms N]
+/// [--frames N]. Returns the process exit code: 0 ok, 2 usage error.
+int top_main(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace cosparse::tools

@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cosparse_top.h"
+
+int main(int argc, char** argv) {
+  return cosparse::tools::top_main(argc, argv, std::cout, std::cerr);
+}
