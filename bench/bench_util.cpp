@@ -32,7 +32,10 @@ KernelRun time_ip(const sparse::Coo& m, const kernels::DenseFrontier& x,
   kernels::AddressMap amap(machine);
   const auto part = kernels::IpPartitionedMatrix::build(
       m, cfg.num_pes(), vblocked ? vblock_cols_for(cfg) : 0, nnz_balanced);
-  kernels::run_inner_product(machine, amap, part, x, kernels::PlainSpmv{});
+  {
+    const obs::PhaseScope kp("kernel.ip");
+    kernels::run_inner_product(machine, amap, part, x, kernels::PlainSpmv{});
+  }
   KernelRun run;
   run.cycles = machine.cycles();
   run.energy_pj = machine.energy_pj();
@@ -51,8 +54,11 @@ KernelRun time_op(const sparse::Coo& m, const sparse::SparseVector& x,
   kernels::AddressMap amap(machine);
   const auto striped =
       kernels::OpStripedMatrix::build(m, cfg.num_tiles, nnz_balanced);
-  kernels::run_outer_product(machine, amap, striped, x, nullptr,
-                             kernels::PlainSpmv{});
+  {
+    const obs::PhaseScope kp("kernel.op");
+    kernels::run_outer_product(machine, amap, striped, x, nullptr,
+                               kernels::PlainSpmv{});
+  }
   KernelRun run;
   run.cycles = machine.cycles();
   run.energy_pj = machine.energy_pj();
@@ -121,6 +127,9 @@ struct ObsState {
   /// Armed by --telemetry-interval / COSPARSE_TELEMETRY (cadence,
   /// exporter outputs, SLO watchdog).
   obs::TelemetrySession telemetry;
+  /// Armed by --cpu-profile / COSPARSE_CPU_PROFILE (sampling CPU
+  /// profiler; folded stacks + flamegraph + cpu_profile report section).
+  obs::CpuProfileSession cpu_profile;
 };
 
 ObsState& obs_state() {
@@ -175,6 +184,7 @@ void add_observability_options(CliParser& cli) {
                  "bit-identical for any value)",
                  "");
   obs::TelemetrySession::add_cli_options(cli);
+  obs::CpuProfileSession::add_cli_options(cli);
 }
 
 void init_observability(const CliParser& cli) {
@@ -201,6 +211,7 @@ void init_observability(const CliParser& cli) {
   // Runs are only reproducible with their seed; keep it in the report.
   if (cli.has("seed")) st.report.set("seed", cli.integer("seed"));
   st.telemetry.init(cli, cli.program());
+  st.cpu_profile.init(cli, cli.program());
 }
 
 obs::Trace* trace() { return &obs_state().trace; }
@@ -244,6 +255,7 @@ int finish_run() {
   // Finalize before writing the report: the final flush snapshot and the
   // watchdog's verdict belong in the telemetry section.
   const int exit_code = st.telemetry.finalize();
+  st.cpu_profile.finalize();  // stop sampling before the report is cut
   if (!st.report_path.empty()) {
     if (st.profiler != nullptr) {
       st.report.set("memory_profile", st.profiler->to_json());
@@ -251,6 +263,9 @@ int finish_run() {
     st.report.set("metrics", st.metrics.to_json());
     if (st.telemetry.armed()) {
       st.report.set("telemetry", st.telemetry.telemetry()->report_json());
+    }
+    if (st.cpu_profile.armed()) {
+      st.report.set("cpu_profile", st.cpu_profile.report());
     }
     st.report.write(st.report_path);
   }

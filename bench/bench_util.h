@@ -17,6 +17,7 @@
 #include "kernels/op_spmv.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"

@@ -36,6 +36,10 @@ struct Leg {
   /// log/replay machinery). Localizes the replay bottleneck.
   double fill_ms = 0.0;
   double replay_ms = 0.0;
+  /// Per-leg sampling CPU profile (cosparse.cpu_profile/v1: sample counts
+  /// and per-phase shares). Null when sampling was unavailable — e.g. a
+  /// process-wide --cpu-profile session already owns the SIGPROF timer.
+  Json cpu_profile;
   std::string report;
   Cycles cycles = 0;
 };
@@ -50,6 +54,14 @@ Leg run_leg(const sparse::Coo& m, const sim::SystemConfig& sys,
   // telemetry section to the run report (which must stay byte-identical
   // across legs).
   obs::Telemetry phase_times;
+  // Per-leg host-CPU sampling: attributes each leg's wall time to the
+  // sim.log_fill / sim.replay / kernel.* phases (the instrument ROADMAP
+  // item 5 asks for). Skipped when a process-wide --cpu-profile session
+  // already owns the ITIMER_PROF timer. Stopped (symbolization and all)
+  // only after the timed region ends.
+  obs::SampleProfiler sampler;
+  const bool sampling =
+      !obs::SampleProfiler::any_active() && sampler.start();
   const auto t0 = std::chrono::steady_clock::now();
   for (int rep = 0; rep < reps; ++rep) {
     runtime::EngineOptions opts;  // deliberately not engine_options():
@@ -73,6 +85,10 @@ Leg run_leg(const sparse::Coo& m, const sim::SystemConfig& sys,
   const auto t1 = std::chrono::steady_clock::now();
   leg.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  if (sampling) {
+    sampler.stop();
+    leg.cpu_profile = sampler.report_json();
+  }
   const auto sum_of = [&](const char* name) {
     const obs::StreamingHistogram* h = phase_times.find_histogram(name);
     return h == nullptr ? 0.0 : h->sum() / reps;
@@ -135,6 +151,7 @@ int main(int argc, char** argv) {
     o["replay_wall_ms"] = leg.replay_ms;
     o["speedup_vs_serial"] = speedup;
     o["report_identical_to_serial"] = same;
+    if (leg.cpu_profile.is_object()) o["cpu_profile"] = leg.cpu_profile;
     jlegs.push_back(std::move(o));
   }
   bench::emit("parallel_sim", table);
@@ -155,7 +172,9 @@ int main(int argc, char** argv) {
       "bit-identical across thread counts (asserted per run). "
       "log_fill_wall_ms / replay_wall_ms split the tile phases into the "
       "parallel log-fill part and the serial deterministic replay part "
-      "(zero for the serial leg, which executes directly without a log).";
+      "(zero for the serial leg, which executes directly without a log). "
+      "cpu_profile is each leg's sampling CPU profile: per-phase shares "
+      "of host CPU samples (cosparse.cpu_profile/v1).";
   doc["legs"] = std::move(jlegs);
   std::ofstream out(cli.str("json-out"));
   out << doc.dump(1) << "\n";

@@ -13,6 +13,7 @@
 #include "common/table.h"
 #include "graph/algorithms.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
                  "(COSPARSE_TRACE env var is the fallback)",
                  "");
   obs::TelemetrySession::add_cli_options(cli);
+  obs::CpuProfileSession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
@@ -94,6 +96,10 @@ int main(int argc, char** argv) {
   obs::TelemetrySession telemetry;
   telemetry.init(cli, "frontier_traversal");
   obs_opts.telemetry = telemetry.telemetry();
+  // One CPU-profile likewise spans all three traversals: samples land in
+  // graph.bfs / graph.cc / graph.sssp phases of a single flamegraph.
+  obs::CpuProfileSession cpu_profile;
+  cpu_profile.init(cli, "frontier_traversal");
 
   int exit_code = 0;
   std::cout << "Traversals on " << graph.name() << " stand-in ("
@@ -156,9 +162,13 @@ int main(int argc, char** argv) {
     // metrics registry all three traversals shared. Telemetry finalizes
     // first so its final snapshot and SLO verdict reach the report.
     exit_code = telemetry.finalize();
+    cpu_profile.finalize();
     if (const std::string path = cli.str("report-out"); !path.empty()) {
       obs::Report report =
           runtime::make_run_report(engine, "frontier_traversal");
+      if (cpu_profile.armed()) {
+        report.set("cpu_profile", cpu_profile.report());
+      }
       Json dataset = Json::object();
       dataset["graph"] = graph.name();
       dataset["vertices"] = graph.num_vertices();

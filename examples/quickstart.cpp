@@ -17,6 +17,7 @@
 #include "graph/algorithms.h"
 #include "kernels/semiring.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
                  "(COSPARSE_TRACE env var is the fallback)",
                  "");
   obs::TelemetrySession::add_cli_options(cli);
+  obs::CpuProfileSession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   const auto n = static_cast<Index>(cli.integer("vertices"));
   const auto m = static_cast<std::uint64_t>(cli.integer("edges"));
@@ -78,6 +80,10 @@ int main(int argc, char** argv) {
   obs::TelemetrySession telemetry;
   telemetry.init(cli, "quickstart");
   opts.telemetry = telemetry.telemetry();
+  // Host-CPU sampling profiler (off unless --cpu-profile names an output
+  // path): folded stacks + flamegraph on exit, cpu_profile report section.
+  obs::CpuProfileSession cpu_profile;
+  cpu_profile.init(cli, "quickstart");
   runtime::Engine engine(adjacency, system, opts);
 
   // With --profile, every memory-hierarchy event is attributed to the
@@ -128,6 +134,7 @@ int main(int argc, char** argv) {
   //    SLO verdict land in the report's telemetry section; the returned
   //    code is nonzero only under --slo-strict with a violated rule.
   const int exit_code = telemetry.finalize();
+  cpu_profile.finalize();  // stop sampling before the report is cut
   if (const std::string path = cli.str("report-out"); !path.empty()) {
     obs::Report report = runtime::make_run_report(engine, "quickstart");
     Json dataset = Json::object();
@@ -135,6 +142,9 @@ int main(int argc, char** argv) {
     dataset["edges"] = m;
     dataset["seed"] = seed;
     report.set("dataset", std::move(dataset));
+    if (cpu_profile.armed()) {
+      report.set("cpu_profile", cpu_profile.report());
+    }
     report.write(path);
     std::cout << "wrote run report to " << path << "\n";
   }

@@ -9,6 +9,7 @@
 #include "common/cli.h"
 #include "common/rng.h"
 #include "graph/algorithms.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
                  "bit-identical for any value)",
                  "");
   obs::TelemetrySession::add_cli_options(cli);
+  obs::CpuProfileSession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
   obs::TelemetrySession telemetry;
   telemetry.init(cli, "recommender_cf");
   eng_opts.telemetry = telemetry.telemetry();
+  obs::CpuProfileSession cpu_profile;
+  cpu_profile.init(cli, "recommender_cf");
   runtime::Engine engine(rating_matrix, system, eng_opts);
   sim::MemProfiler profiler;
   if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
@@ -106,8 +110,10 @@ int main(int argc, char** argv) {
   // Finalize before the report so the final flush snapshot and SLO
   // verdict land in the telemetry section.
   const int exit_code = telemetry.finalize();
+  cpu_profile.finalize();
   if (const std::string path = cli.str("report-out"); !path.empty()) {
     obs::Report report = runtime::make_run_report(engine, "recommender_cf");
+    if (cpu_profile.armed()) report.set("cpu_profile", cpu_profile.report());
     Json dataset = Json::object();
     dataset["users"] = users;
     dataset["items"] = items;

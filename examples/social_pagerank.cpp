@@ -10,6 +10,7 @@
 #include "baselines/ligra/apps.h"
 #include "common/cli.h"
 #include "graph/algorithms.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "runtime/engine.h"
 #include "runtime/report.h"
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
                  "bit-identical for any value)",
                  "");
   obs::TelemetrySession::add_cli_options(cli);
+  obs::CpuProfileSession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   sparse::DatasetRegistry registry;
@@ -60,6 +62,8 @@ int main(int argc, char** argv) {
   obs::TelemetrySession telemetry;
   telemetry.init(cli, "social_pagerank");
   eng_opts.telemetry = telemetry.telemetry();
+  obs::CpuProfileSession cpu_profile;
+  cpu_profile.init(cli, "social_pagerank");
   runtime::Engine engine(graph.adjacency(), system, eng_opts);
   sim::MemProfiler profiler;
   if (cli.flag("profile")) engine.machine().set_profiler(&profiler);
@@ -99,8 +103,10 @@ int main(int argc, char** argv) {
   // Finalize before the report so the final flush snapshot and SLO
   // verdict land in the telemetry section.
   const int exit_code = telemetry.finalize();
+  cpu_profile.finalize();
   if (const std::string path = cli.str("report-out"); !path.empty()) {
     obs::Report report = runtime::make_run_report(engine, "social_pagerank");
+    if (cpu_profile.armed()) report.set("cpu_profile", cpu_profile.report());
     Json dataset = Json::object();
     dataset["graph"] = graph.name();
     dataset["vertices"] = graph.num_vertices();

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "kernels/semiring.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 
 namespace cosparse::graph {
@@ -25,6 +26,7 @@ class StatsScope {
   StatsScope(Engine& eng, const char* algo)
       : eng_(&eng),
         algo_(algo),
+        phase_(obs::intern_phase_tag(std::string("graph.") + algo)),
         start_cycles_(eng.total_cycles()),
         start_energy_(eng.total_energy_pj()),
         start_log_(eng.iterations().size()),
@@ -70,6 +72,7 @@ class StatsScope {
  private:
   Engine* eng_;
   const char* algo_;
+  obs::PhaseScope phase_;  ///< tags host samples with "graph.<algo>"
   Cycles start_cycles_;
   Picojoules start_energy_;
   std::size_t start_log_;

@@ -21,7 +21,7 @@ Json results_subset(const Json& report) {
   Json out = Json::object();
   if (!report.is_object()) return out;
   for (const auto& [key, value] : report.members()) {
-    if (key == "telemetry") continue;
+    if (key == "telemetry" || key == "cpu_profile") continue;
     out[key] = value;
   }
   return out;

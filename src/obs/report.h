@@ -41,11 +41,11 @@ class Report {
 };
 
 /// The simulated-results subset of a run report: every section except the
-/// wall-clock-bearing "telemetry" one. Telemetry is bit-neutral to
-/// simulated results, so this subset must be byte-identical between a
-/// telemetry-on and a telemetry-off run of the same workload — the
-/// differential harness and the CI baseline comparison both diff exactly
-/// this document (see also `cosparse-prof extract`).
+/// wall-clock-bearing "telemetry" and "cpu_profile" ones. Both are
+/// bit-neutral to simulated results, so this subset must be byte-identical
+/// between runs of the same workload with those instruments on or off —
+/// the differential harness and the CI baseline comparison both diff
+/// exactly this document (see also `cosparse-prof extract`).
 [[nodiscard]] Json results_subset(const Json& report);
 
 }  // namespace cosparse::obs

@@ -218,6 +218,7 @@ void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
 
 const kernels::DenseFrontier& Engine::convert_to_dense(
     const sparse::SparseVector& sv, Value identity, Cycles* cost) {
+  const obs::PhaseScope phase("engine.frontier");
   const Cycles start = machine_.cycles();
   // Reset the staging buffer in place (stable host storage, see engine.h).
   kernels::DenseFrontier& df = staged_dense_;
@@ -253,6 +254,7 @@ const kernels::DenseFrontier& Engine::convert_to_dense(
 
 const sparse::SparseVector& Engine::convert_to_sparse(
     const kernels::DenseFrontier& df, Cycles* cost) {
+  const obs::PhaseScope phase("engine.frontier");
   const Cycles start = machine_.cycles();
   // Scan the bitmap (one 64-bit word covers 64 vertices), emit entries for
   // set bits. Per-PE ranges keep the output ordered.

@@ -23,6 +23,7 @@
 #include "common/json.h"
 #include "kernels/address_map.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "kernels/frontier.h"
 #include "kernels/ip_spmv.h"
@@ -254,6 +255,7 @@ class Engine {
 template <kernels::Semiring S>
 Engine::Output Engine::spmv(const Frontier& f, const S& sr,
                             const sparse::DenseVector* dst_old) {
+  const obs::PhaseScope phase("engine.spmv");
   const auto wall_begin = std::chrono::steady_clock::now();
   const Cycles start_cycles = machine_.cycles();
   const sim::Stats start_stats = machine_.stats();
@@ -289,13 +291,19 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
     if (f.dense) {
       const kernels::DenseFrontier& df = stage_dense(f.df);
       kernel_begin = machine_.cycles();
-      out.ip = kernels::run_inner_product(machine_, amap_, layout, df, sr);
+      {
+        const obs::PhaseScope kp("kernel.ip");
+        out.ip = kernels::run_inner_product(machine_, amap_, layout, df, sr);
+      }
     } else {
       const kernels::DenseFrontier& df =
           convert_to_dense(f.sv, sr.vector_identity(), &conv);
       rec.converted_frontier = true;
       kernel_begin = machine_.cycles();
-      out.ip = kernels::run_inner_product(machine_, amap_, layout, df, sr);
+      {
+        const obs::PhaseScope kp("kernel.ip");
+        out.ip = kernels::run_inner_product(machine_, amap_, layout, df, sr);
+      }
     }
     kernel_end = machine_.cycles();
     rec.convert_cycles = conv;
@@ -306,13 +314,19 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
       const sparse::SparseVector& sv = convert_to_sparse(f.df, &conv);
       rec.converted_frontier = true;
       kernel_begin = machine_.cycles();
-      out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
-                                          dst_old, sr);
+      {
+        const obs::PhaseScope kp("kernel.op");
+        out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
+                                            dst_old, sr);
+      }
     } else {
       const sparse::SparseVector& sv = stage_sparse(f.sv);
       kernel_begin = machine_.cycles();
-      out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
-                                          dst_old, sr);
+      {
+        const obs::PhaseScope kp("kernel.op");
+        out.op = kernels::run_outer_product(machine_, amap_, op_matrix_, sv,
+                                            dst_old, sr);
+      }
     }
     kernel_end = machine_.cycles();
     rec.convert_cycles = conv;

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "sim/parallel.h"
 #include "sim/profile.h"
@@ -158,6 +159,7 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
   const std::uint32_t T = cfg_.num_tiles;
   if (exec_ == nullptr) {
     // Immediate mode: the pre-existing serial code path, untouched.
+    const obs::PhaseScope phase("sim.exec");
     for (std::uint32_t t = 0; t < T; ++t) fn(t);
     return;
   }
@@ -172,6 +174,7 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
   phase_active_ = true;
   try {
     exec_->run(T, [&](std::uint32_t t) {
+      const obs::PhaseScope phase("sim.log_fill");
       t_phase_tile = t;
       if (timed) {
         const auto t0 = std::chrono::steady_clock::now();
@@ -190,6 +193,7 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
   phase_active_ = false;
   // Deterministic merge: replay in ascending tile order — the exact order
   // the serial engine interleaves tiles in.
+  const obs::PhaseScope replay_phase("sim.replay");
   if (timed) {
     auto& fill_hist = telemetry_->histogram("sim.tile_fill_ms");
     for (std::uint32_t t = 0; t < T; ++t) fill_hist.observe(tile_fill_ms_[t]);

@@ -132,6 +132,89 @@ TEST(StreamingHistogram, MergingAnEmptyHistogramIsIdentity) {
   EXPECT_DOUBLE_EQ(other.max(), 3.0);
 }
 
+TEST(StreamingHistogram, SingleSampleQuantilesAllReportThatSample) {
+  // With one observation every rank resolves to the same bucket, so every
+  // quantile reports a value within one bucket width of the sample (and
+  // never below it — the reported value is the bucket's upper edge).
+  for (const double v : {0.001, 1.0, 3.5, 1e6}) {
+    StreamingHistogram h;
+    h.observe(v);
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      const double got = h.quantile(q);
+      EXPECT_GE(got, v) << "v=" << v << " q=" << q;
+      EXPECT_LE(got - v, v / StreamingHistogram::kSubBuckets + 1e-12)
+          << "v=" << v << " q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.min(), v);
+    EXPECT_DOUBLE_EQ(h.max(), v);
+  }
+}
+
+TEST(StreamingHistogram, AllEqualValuesCollapseToOneBucket) {
+  StreamingHistogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(7.25);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 7.25);
+  EXPECT_DOUBLE_EQ(h.max(), 7.25);
+  // Every quantile lands in the single occupied bucket: p50 == p999.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), h.quantile(0.999));
+  EXPECT_GE(h.quantile(0.5), 7.25);
+  EXPECT_LE(h.quantile(0.5) - 7.25,
+            7.25 / StreamingHistogram::kSubBuckets + 1e-12);
+}
+
+TEST(StreamingHistogram, MergeWithEmptyPreservesEveryStatistic) {
+  Rng rng(31);
+  StreamingHistogram h;
+  for (int i = 0; i < 200; ++i) h.observe(rng.next_double() * 9.0);
+  const StreamingHistogram before = h;
+  StreamingHistogram empty;
+  h.merge(empty);           // h + 0 == h
+  StreamingHistogram onto = empty;
+  onto.merge(before);       // 0 + h == h
+  for (const StreamingHistogram* m : {&h, &onto}) {
+    EXPECT_EQ(m->count(), before.count());
+    EXPECT_EQ(m->zero_count(), before.zero_count());
+    EXPECT_EQ(m->buckets(), before.buckets());
+    EXPECT_DOUBLE_EQ(m->sum(), before.sum());
+    EXPECT_DOUBLE_EQ(m->min(), before.min());
+    EXPECT_DOUBLE_EQ(m->max(), before.max());
+    for (const double q : {0.5, 0.9, 0.99, 0.999})
+      EXPECT_DOUBLE_EQ(m->quantile(q), before.quantile(q));
+  }
+}
+
+TEST(StreamingHistogram, MergeIsCommutativeOnRandomShards) {
+  // Property: a.merge(b) and b.merge(a) reach identical state for random
+  // shard contents — including shards with zeros, negatives (zero bucket)
+  // and out-of-range magnitudes.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(1000 + seed);
+    StreamingHistogram a, b;
+    const int na = static_cast<int>(rng.next_below(400));
+    const int nb = static_cast<int>(rng.next_below(400));
+    for (int i = 0; i < na; ++i) {
+      a.observe((rng.next_double() - 0.1) * std::ldexp(1.0, static_cast<int>(
+                    rng.next_below(40)) - 10));
+    }
+    for (int i = 0; i < nb; ++i) b.observe(rng.next_double() * 1e5);
+    StreamingHistogram ab = a;
+    ab.merge(b);
+    StreamingHistogram ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.count(), ba.count()) << "seed=" << seed;
+    EXPECT_EQ(ab.zero_count(), ba.zero_count()) << "seed=" << seed;
+    EXPECT_EQ(ab.buckets(), ba.buckets()) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(ab.sum(), ba.sum()) << "seed=" << seed;
+    if (ab.count() > 0) {
+      EXPECT_DOUBLE_EQ(ab.min(), ba.min()) << "seed=" << seed;
+      EXPECT_DOUBLE_EQ(ab.max(), ba.max()) << "seed=" << seed;
+      for (const double q : {0.5, 0.9, 0.999})
+        EXPECT_DOUBLE_EQ(ab.quantile(q), ba.quantile(q)) << "seed=" << seed;
+    }
+  }
+}
+
 TEST(HistogramSummary, JsonRoundTripIsLossless) {
   StreamingHistogram h;
   for (const double v : {0.25, 1.5, 1.5, 40.0, 1e4}) h.observe(v);

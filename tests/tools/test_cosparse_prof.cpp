@@ -170,6 +170,109 @@ TEST(ProfMain, UsageAndValidationErrors) {
   EXPECT_EQ(run_main({"help"}), 0);
 }
 
+std::string write_text(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(SummarizeTelemetry, EmptyStreamSaysNoSnapshotsAndExitsZero) {
+  // An empty (or not-yet-flushed) JSONL stream is a normal sight when
+  // summarizing right after a run starts: report it, don't fail.
+  std::ostringstream os;
+  summarize_telemetry(os, "", "empty.jsonl");
+  EXPECT_NE(os.str().find("(no snapshots)"), std::string::npos);
+
+  const std::string path = write_text("prof_empty.jsonl", "");
+  EXPECT_EQ(run_main({"summarize", "--telemetry", path}), 0);
+}
+
+TEST(SummarizeTelemetry, WhitespaceOnlyLinesCountAsEmpty) {
+  std::ostringstream os;
+  summarize_telemetry(os, "\n   \n\t\r\n", "blank.jsonl");
+  EXPECT_NE(os.str().find("(no snapshots)"), std::string::npos);
+}
+
+TEST(SummarizeTelemetry, ZeroMetricSnapshotSaysNoMetrics) {
+  // A cadence tick before any histogram observed anything: the snapshot
+  // line renders, but with "(no metrics)" instead of an empty table.
+  const std::string snap =
+      R"({"schema":"cosparse.telemetry/v1","seq":0,"wall_ms":1,)"
+      R"("iterations":0,"header":{"tool":"unit"},"hist":{}})" "\n";
+  std::ostringstream os;
+  summarize_telemetry(os, snap, "zero.jsonl");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("snapshot 0"), std::string::npos);
+  EXPECT_NE(out.find("(no metrics)"), std::string::npos);
+  EXPECT_EQ(out.find("Δcount"), std::string::npos);  // no table header
+
+  const std::string path = write_text("prof_zero.jsonl", snap);
+  EXPECT_EQ(run_main({"summarize", "--telemetry", path}), 0);
+}
+
+TEST(SummarizeTelemetry, UnparseableLineThrowsWithLineNumber) {
+  std::ostringstream os;
+  try {
+    summarize_telemetry(os, "{\"seq\":0}\n{torn", "torn.jsonl");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+const char* kFoldedA = "x.one;sym_a 50\nx.two;sym_b 50\n";
+const char* kFoldedB = "x.one;sym_a 30\nx.two;sym_b 70\n";
+
+TEST(ProfMain, FlameWritesHtmlAndPrintsPhases) {
+  const std::string folded = write_text("prof_flame.folded", kFoldedA);
+  const std::string html = ::testing::TempDir() + "prof_flame.html";
+  EXPECT_EQ(run_main({"flame", folded, "--out", html}), 0);
+  std::ifstream in(html);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("<svg"), std::string::npos);
+  EXPECT_NE(buf.str().find("x.one"), std::string::npos);
+}
+
+TEST(ProfMain, FlameDefaultsToInputDotHtml) {
+  const std::string folded = write_text("prof_flame_d.folded", kFoldedA);
+  EXPECT_EQ(run_main({"flame", folded}), 0);
+  std::ifstream in(folded + ".html");
+  EXPECT_TRUE(in.good());
+}
+
+TEST(ProfMain, FlameUsageAndParseErrors) {
+  EXPECT_EQ(run_main({"flame"}), 2);  // no input
+  const std::string a = write_text("prof_fa.folded", kFoldedA);
+  const std::string b = write_text("prof_fb.folded", kFoldedB);
+  EXPECT_EQ(run_main({"flame", a, b}), 2);  // too many inputs
+  EXPECT_EQ(run_main({"flame", a, "--bogus"}), 2);
+  EXPECT_EQ(run_main({"flame", "/nonexistent/p.folded"}), 1);
+  const std::string bad = write_text("prof_bad.folded", "no count here\n");
+  EXPECT_EQ(run_main({"flame", bad}), 1);
+}
+
+TEST(ProfMain, FlameDiffExitCodesMatchShareGate) {
+  const std::string a = write_text("prof_da.folded", kFoldedA);
+  const std::string b = write_text("prof_db.folded", kFoldedB);
+  // Self-diff is clean; a 20-point share swing trips the default 5%
+  // gate and passes a loosened 25% one — the `diff` exit-code contract.
+  EXPECT_EQ(run_main({"flamediff", a, a}), 0);
+  EXPECT_EQ(run_main({"flamediff", a, b}), 1);
+  EXPECT_EQ(run_main({"flamediff", a, b, "--max-regress", "25%"}), 0);
+  EXPECT_EQ(run_main({"flamediff", a, b, "--max-regress=25%"}), 0);
+}
+
+TEST(ProfMain, FlameDiffUsageErrors) {
+  const std::string a = write_text("prof_ua.folded", kFoldedA);
+  EXPECT_EQ(run_main({"flamediff", a}), 2);              // one input
+  EXPECT_EQ(run_main({"flamediff", a, a, a}), 2);        // three inputs
+  EXPECT_EQ(run_main({"flamediff", a, a, "--bogus"}), 2);
+  EXPECT_EQ(run_main({"flamediff", a, "/nonexistent/q.folded"}), 1);
+}
+
 TEST(Summarize, PrintsRegionAndDecisionTables) {
   Json doc = report_with(1000, 100, 50, 4096, 2048);
   Json& region = doc["memory_profile"]["regions"]["matrix.elems"];

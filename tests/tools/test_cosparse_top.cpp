@@ -79,6 +79,71 @@ TEST(CosparseTop, SingleSnapshotOmitsRates) {
   EXPECT_NE(os.str().find("no metrics yet"), std::string::npos);
 }
 
+TEST(CosparseTop, NarrowWidthTruncatesInsteadOfWrapping) {
+  // A 48-column terminal: every rendered line fits, the busy bars shrink
+  // (48 - 24 = 24 chars), and the percentile table is clipped rather than
+  // wrapped — a wrapped line would tear the --follow repaint.
+  std::ostringstream os;
+  render_dashboard(os, parse_snapshots(kTwoSnapshots), 48);
+  std::istringstream lines(os.str());
+  std::string line;
+  bool saw_tile_bar = false;
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), 48u) << "line: " << line;
+    if (line.rfind("  tile 0", 0) == 0) {
+      saw_tile_bar = true;
+      // Tile 0 is at max busy: a full but narrowed bar.
+      EXPECT_NE(line.find(std::string(24, '#')), std::string::npos) << line;
+      EXPECT_EQ(line.find(std::string(40, '#')), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_tile_bar);
+  // The content survives truncation: header and metric names still show.
+  EXPECT_NE(os.str().find("tool=unit"), std::string::npos);
+  EXPECT_NE(os.str().find("engine.iteration_ms"), std::string::npos);
+}
+
+TEST(CosparseTop, VeryNarrowWidthClampsBarsToAMinimum) {
+  // Below 32 columns the bars clamp at 8 chars instead of vanishing.
+  std::ostringstream os;
+  render_dashboard(os, parse_snapshots(kTwoSnapshots), 20);
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), 20u) << "line: " << line;
+  }
+  EXPECT_NE(os.str().find(std::string(8, '#')), std::string::npos);
+}
+
+TEST(CosparseTop, ZeroWidthMeansUnlimited) {
+  // width 0 (piped output, or --width 0) renders the classic full-width
+  // frame byte-for-byte.
+  std::ostringstream wide, classic;
+  render_dashboard(wide, parse_snapshots(kTwoSnapshots), 0);
+  render_dashboard(classic, parse_snapshots(kTwoSnapshots));
+  EXPECT_EQ(wide.str(), classic.str());
+  EXPECT_NE(wide.str().find(std::string(40, '#')), std::string::npos);
+}
+
+TEST(CosparseTop, MainAcceptsWidthOption) {
+  const std::string path = ::testing::TempDir() + "cosparse_top_w.jsonl";
+  {
+    std::ofstream out(path);
+    out << kTwoSnapshots;
+  }
+  std::ostringstream out, err;
+  const char* argv[] = {"cosparse-top", path.c_str(), "--width", "48"};
+  EXPECT_EQ(top_main(4, argv, out, err), 0);
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), 48u) << "line: " << line;
+  }
+  std::ostringstream out2, err2;
+  const char* bad[] = {"cosparse-top", path.c_str(), "--width", "-3"};
+  EXPECT_EQ(top_main(4, bad, out2, err2), 2);
+}
+
 TEST(CosparseTop, MainRendersAFileOnce) {
   const std::string path = ::testing::TempDir() + "cosparse_top_in.jsonl";
   {

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/table.h"
+#include "obs/flame.h"
 #include "obs/histogram.h"
 #include "obs/report.h"
 
@@ -346,7 +347,7 @@ void summarize_telemetry(std::ostream& os, const std::string& jsonl_text,
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     try {
       snaps.push_back(Json::parse(line));
     } catch (const Error& e) {
@@ -382,7 +383,13 @@ void summarize_telemetry(std::ostream& os, const std::string& jsonl_text,
        << "  iterations=" << fmt_count(number_at(snap, "iterations", &f))
        << "\n";
     const Json* hist = snap.find("hist");
-    if (hist == nullptr || !hist->is_object()) continue;
+    if (hist == nullptr || !hist->is_object() || hist->size() == 0) {
+      // A snapshot with no observed metrics yet (e.g. a cadence tick
+      // before any histogram recorded): say so instead of printing a
+      // header-only table.
+      os << "(no metrics)\n";
+      continue;
+    }
     Table t({"metric", "count", "Δcount", "mean", "p50", "p90", "p99",
              "p999", "max"});
     std::vector<std::pair<std::string, double>> counts;
@@ -434,7 +441,10 @@ int usage(std::ostream& os) {
      << " [--telemetry <file.jsonl>]...\n"
      << "  cosparse-prof diff <baseline.json> <candidate.json>"
      << " [--max-regress 5%]\n"
-     << "  cosparse-prof extract <report.json> [--out <file>]\n";
+     << "  cosparse-prof extract <report.json> [--out <file>]\n"
+     << "  cosparse-prof flame <profile.folded> [--out <flame.html>]\n"
+     << "  cosparse-prof flamediff <baseline.folded> <candidate.folded>"
+     << " [--max-regress 5%]\n";
   return 2;
 }
 
@@ -519,6 +529,61 @@ int prof_main(int argc, const char* const* argv) {
       const DiffResult result =
           diff_reports(load_report(files[0]), load_report(files[1]), opts);
       print_diff(std::cout, result, opts);
+      return result.regressed ? 1 : 0;
+    }
+    if (cmd == "flame") {
+      std::vector<std::string> files;
+      std::string out_path;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out") {
+          COSPARSE_REQUIRE(i + 1 < argc, "--out: missing value");
+          out_path = argv[++i];
+        } else if (arg.rfind("--out=", 0) == 0) {
+          out_path = arg.substr(sizeof("--out=") - 1);
+        } else if (!arg.empty() && arg[0] == '-') {
+          std::cerr << "cosparse-prof: unknown option " << arg << "\n";
+          return 2;
+        } else {
+          files.push_back(arg);
+        }
+      }
+      if (files.size() != 1) return usage(std::cerr);
+      const obs::FoldedProfile profile =
+          obs::FoldedProfile::parse(load_text(files[0]));
+      std::cout << "=== " << files[0] << " (" << profile.total_samples
+                << " samples) ===\n";
+      obs::print_phase_table(std::cout, profile);
+      if (out_path.empty()) out_path = files[0] + ".html";
+      std::ofstream o(out_path);
+      COSPARSE_REQUIRE(o.good(), "cannot write " + out_path);
+      o << obs::render_flamegraph_html(profile, files[0]);
+      std::cout << "wrote flamegraph to " << out_path << "\n";
+      return 0;
+    }
+    if (cmd == "flamediff") {
+      double max_regress = 0.05;
+      std::vector<std::string> files;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--max-regress") {
+          COSPARSE_REQUIRE(i + 1 < argc, "--max-regress: missing value");
+          max_regress = parse_regress_limit(argv[++i]);
+        } else if (arg.rfind("--max-regress=", 0) == 0) {
+          max_regress =
+              parse_regress_limit(arg.substr(sizeof("--max-regress=") - 1));
+        } else if (!arg.empty() && arg[0] == '-') {
+          std::cerr << "cosparse-prof: unknown option " << arg << "\n";
+          return 2;
+        } else {
+          files.push_back(arg);
+        }
+      }
+      if (files.size() != 2) return usage(std::cerr);
+      const obs::FlameDiffResult result = obs::diff_folded(
+          obs::FoldedProfile::parse(load_text(files[0])),
+          obs::FoldedProfile::parse(load_text(files[1])), max_regress);
+      print_flame_diff(std::cout, result, max_regress);
       return result.regressed ? 1 : 0;
     }
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {

@@ -1,8 +1,9 @@
-// cosparse-prof: offline analysis of cosparse.run_report/v1 documents.
+// cosparse-prof: offline analysis of cosparse.run_report/v1 documents
+// and folded-stack CPU profiles.
 //
-// Three subcommands, all operating purely on report/telemetry JSON (no
-// simulator dependency, so reports from different builds remain
-// comparable):
+// Five subcommands, all operating purely on report/telemetry JSON or
+// folded-stack text (no simulator dependency, so artifacts from different
+// builds remain comparable):
 //
 //   summarize <report.json>... [--telemetry <file.jsonl>]...
 //     prints, per report, the memory-profile region and per-tile breakdown
@@ -21,9 +22,20 @@
 //
 //   extract <report.json> [--out <file>]
 //     writes the simulated-results subset of a run report (every section
-//     except the wall-clock-bearing "telemetry" one, obs::results_subset)
-//     so CI can byte-compare a telemetry-on run against the telemetry-off
-//     baseline with plain cmp.
+//     except the wall-clock-bearing "telemetry" and "cpu_profile" ones,
+//     obs::results_subset) so CI can byte-compare an instrumented run
+//     against the instrument-off baseline with plain cmp.
+//
+//   flame <profile.folded> [--out <flame.html>]
+//     renders a --cpu-profile folded-stack file (obs::SampleProfiler
+//     output) into a self-contained HTML/SVG flamegraph (default output:
+//     <profile.folded>.html) and prints the per-phase share table.
+//
+//   flamediff <baseline.folded> <candidate.folded> [--max-regress 5%]
+//     compares per-phase sample shares of two folded profiles and exits
+//     nonzero when any phase's share of total samples grew by more than
+//     the limit (in absolute share points: 5% = 0.05 share growth) —
+//     the same exit-code contract as `diff`.
 //
 // The comparison/summary logic lives in this header's functions (library
 // target cosparse_prof_lib) so tests/tools/test_cosparse_prof.cpp can

@@ -15,6 +15,12 @@
 #include "common/table.h"
 #include "obs/histogram.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/ioctl.h>
+#include <unistd.h>
+#define COSPARSE_TOP_HAS_TTY 1
+#endif
+
 namespace cosparse::tools {
 
 namespace {
@@ -93,7 +99,7 @@ void render_metrics(std::ostream& os, const Json& snap, const Json* prev) {
   table.print(os);
 }
 
-void render_tiles(std::ostream& os, const Json& snap) {
+void render_tiles(std::ostream& os, const Json& snap, int bar_width) {
   const Json* extra = snap.find("extra");
   if (extra == nullptr || !extra->is_object()) return;
   const Json* tiles = extra->find("tile_busy_cycles");
@@ -116,7 +122,7 @@ void render_tiles(std::ostream& os, const Json& snap) {
   for (const Json& t : tiles->items()) {
     const double busy = t.is_number() ? t.as_double() : 0.0;
     os << "  tile " << index++ << " |"
-       << bar(max_busy > 0.0 ? busy / max_busy : 0.0, 40) << "| "
+       << bar(max_busy > 0.0 ? busy / max_busy : 0.0, bar_width) << "| "
        << Table::fmt(busy, 0) << "\n";
   }
 }
@@ -139,7 +145,7 @@ void render_slo(std::ostream& os, const std::vector<Json>& snaps) {
 
 int usage(std::ostream& err) {
   err << "usage: cosparse-top <telemetry.jsonl> [--follow]"
-      << " [--refresh-ms <n>] [--frames <n>]\n";
+      << " [--refresh-ms <n>] [--frames <n>] [--width <cols>]\n";
   return 2;
 }
 
@@ -162,7 +168,10 @@ std::vector<Json> parse_snapshots(const std::string& text) {
   return out;
 }
 
-void render_dashboard(std::ostream& os, const std::vector<Json>& snaps) {
+namespace {
+
+void render_dashboard_impl(std::ostream& os, const std::vector<Json>& snaps,
+                           int bar_width) {
   if (snaps.empty()) {
     os << "cosparse-top: waiting for snapshots...\n";
     return;
@@ -184,8 +193,51 @@ void render_dashboard(std::ostream& os, const std::vector<Json>& snaps) {
   }
   os << "\n";
   render_metrics(os, last, prev);
-  render_tiles(os, last);
+  render_tiles(os, last, bar_width);
   render_slo(os, snaps);
+}
+
+}  // namespace
+
+void render_dashboard(std::ostream& os, const std::vector<Json>& snaps,
+                      int width) {
+  if (width <= 0) {
+    render_dashboard_impl(os, snaps, 40);
+    return;
+  }
+  // Narrow terminal: shrink the busy bars to leave room for the
+  // "  tile NN |" prefix and the "| <cycles>" suffix (~24 columns), then
+  // hard-clip every rendered line — a wrapped line would double the frame
+  // height and tear the --follow home+clear repaint.
+  std::ostringstream buf;
+  render_dashboard_impl(buf, snaps, std::clamp(width - 24, 8, 40));
+  std::istringstream lines(buf.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.size() > static_cast<std::size_t>(width)) {
+      line.resize(static_cast<std::size_t>(width));
+    }
+    os << line << "\n";
+  }
+}
+
+int detect_terminal_width() {
+#ifdef COSPARSE_TOP_HAS_TTY
+  if (::isatty(STDOUT_FILENO) != 0) {
+    ::winsize ws{};
+    if (::ioctl(STDOUT_FILENO, TIOCGWINSZ, &ws) == 0 && ws.ws_col > 0) {
+      return static_cast<int>(ws.ws_col);
+    }
+    if (const char* cols = std::getenv("COLUMNS")) {
+      char* end = nullptr;
+      const long v = std::strtol(cols, &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0) {
+        return static_cast<int>(v);
+      }
+    }
+  }
+#endif
+  return 0;
 }
 
 int top_main(int argc, const char* const* argv, std::ostream& out,
@@ -193,12 +245,14 @@ int top_main(int argc, const char* const* argv, std::ostream& out,
   std::string path;
   bool follow = false;
   long refresh_ms = 500;
-  long frames = 0;  // 0 = until interrupted (follow mode only)
+  long frames = 0;      // 0 = until interrupted (follow mode only)
+  long width = -1;      // -1 = auto-detect from the terminal; 0 = unlimited
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--follow") {
       follow = true;
-    } else if (arg == "--refresh-ms" || arg == "--frames") {
+    } else if (arg == "--refresh-ms" || arg == "--frames" ||
+               arg == "--width") {
       if (i + 1 >= argc) {
         err << "cosparse-top: " << arg << " needs a value\n";
         return usage(err);
@@ -210,7 +264,9 @@ int top_main(int argc, const char* const* argv, std::ostream& out,
             << "\n";
         return usage(err);
       }
-      (arg == "--refresh-ms" ? refresh_ms : frames) = v;
+      (arg == "--refresh-ms"
+           ? refresh_ms
+           : (arg == "--frames" ? frames : width)) = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(out);
       return 0;
@@ -225,6 +281,7 @@ int top_main(int argc, const char* const* argv, std::ostream& out,
     }
   }
   if (path.empty()) return usage(err);
+  if (width < 0) width = detect_terminal_width();
 
   long frame = 0;
   while (true) {
@@ -243,7 +300,7 @@ int top_main(int argc, const char* const* argv, std::ostream& out,
       // placeholder — cosparse-top may be started before the producer.
     }
     if (follow) out << "\x1b[H\x1b[2J";  // home + clear: repaint in place
-    render_dashboard(out, parse_snapshots(text));
+    render_dashboard(out, parse_snapshots(text), static_cast<int>(width));
     out.flush();
     ++frame;
     if (!follow || (frames > 0 && frame >= frames)) break;

@@ -31,10 +31,20 @@ namespace cosparse::tools {
 /// Renders one dashboard frame for the stream (see file comment for the
 /// layout). An empty snapshot list renders a "waiting for snapshots"
 /// placeholder so --follow can start before the producer's first tick.
-void render_dashboard(std::ostream& os, const std::vector<Json>& snaps);
+/// `width` caps the rendered line width in columns (0 = unlimited): on
+/// narrow terminals the busy bars shrink and over-long lines — the
+/// percentile table above all — are truncated instead of wrapping, which
+/// would tear the --follow repaint.
+void render_dashboard(std::ostream& os, const std::vector<Json>& snaps,
+                      int width = 0);
+
+/// Terminal width in columns for the process's stdout, or 0 when stdout
+/// is not a terminal (piped/tested output stays unclipped).
+[[nodiscard]] int detect_terminal_width();
 
 /// Full CLI: cosparse-top <file.jsonl> [--follow] [--refresh-ms N]
-/// [--frames N]. Returns the process exit code: 0 ok, 2 usage error.
+/// [--frames N] [--width N]. Returns the process exit code: 0 ok,
+/// 2 usage error.
 int top_main(int argc, const char* const* argv, std::ostream& out,
              std::ostream& err);
 
