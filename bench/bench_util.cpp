@@ -2,7 +2,9 @@
 
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include <memory>
 
@@ -10,6 +12,7 @@
 #include "kernels/address_map.h"
 #include "kernels/partition.h"
 #include "kernels/semiring.h"
+#include "native/simd.h"
 #include "sim/parallel.h"
 #include "sim/profile.h"
 #include "sparse/generate.h"
@@ -130,6 +133,8 @@ struct ObsState {
   /// Armed by --cpu-profile / COSPARSE_CPU_PROFILE (sampling CPU
   /// profiler; folded stacks + flamegraph + cpu_profile report section).
   obs::CpuProfileSession cpu_profile;
+  /// --exec-mode / COSPARSE_EXEC_MODE resolution (default sim).
+  native::ExecMode exec_mode = native::ExecMode::kSim;
 };
 
 ObsState& obs_state() {
@@ -183,6 +188,12 @@ void add_observability_options(CliParser& cli) {
                  "COSPARSE_SIM_THREADS is the fallback; results are "
                  "bit-identical for any value)",
                  "");
+  cli.add_option("exec-mode",
+                 "execution backend: sim (cycle-accurate, the default) or "
+                 "native (results-only host kernels, no cycle model; "
+                 "COSPARSE_EXEC_MODE is the fallback; results are "
+                 "byte-identical across modes)",
+                 "");
   obs::TelemetrySession::add_cli_options(cli);
   obs::CpuProfileSession::add_cli_options(cli);
 }
@@ -210,6 +221,20 @@ void init_observability(const CliParser& cli) {
   }
   // Runs are only reproducible with their seed; keep it in the report.
   if (cli.has("seed")) st.report.set("seed", cli.integer("seed"));
+  std::optional<std::string> mode;
+  if (cli.has("exec-mode") && !cli.str("exec-mode").empty()) {
+    mode = cli.str("exec-mode");
+  }
+  st.exec_mode = native::resolve_exec_mode(mode);
+  // Honest-machine stamp: committed BENCH JSONs must say what hardware and
+  // execution mode produced them. (Machine-dependent by design — never
+  // byte-compare a section that names the CPU.)
+  Json host = Json::object();
+  host["exec_mode"] = std::string(native::to_string(st.exec_mode));
+  host["cpu_model"] = native::cpu_model_string();
+  host["simd"] = std::string(native::to_string(native::simd_level()));
+  host["host_cores"] = std::thread::hardware_concurrency();
+  st.report.set("host", std::move(host));
   st.telemetry.init(cli, cli.program());
   st.cpu_profile.init(cli, cli.program());
 }
@@ -224,12 +249,15 @@ sim::ParallelExecutor* executor() { return obs_state().executor.get(); }
 
 obs::Telemetry* telemetry() { return obs_state().telemetry.telemetry(); }
 
+native::ExecMode exec_mode() { return obs_state().exec_mode; }
+
 runtime::EngineOptions engine_options() {
   runtime::EngineOptions o;
   o.trace = trace();
   o.metrics = &metrics();
   o.executor = executor();
   o.telemetry = telemetry();
+  o.exec_mode = exec_mode();
   // A null executor must stay null: engine_options() callers already got
   // the process-wide resolution above, so suppress the engine's own
   // environment lookup.

@@ -15,6 +15,7 @@
 #include "kernels/frontier.h"
 #include "kernels/ip_spmv.h"
 #include "kernels/op_spmv.h"
+#include "native/exec_mode.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/sampler.h"
@@ -107,6 +108,12 @@ void init_observability(const CliParser& cli);
 /// accumulated per-region profile into the report's "memory_profile"
 /// section.
 [[nodiscard]] sim::MemProfiler* profiler();
+
+/// The process-wide execution mode, resolved by init_observability() from
+/// --exec-mode (COSPARSE_EXEC_MODE is the fallback; default sim).
+/// engine_options() forwards it; harnesses timing raw kernels branch on it
+/// themselves.
+[[nodiscard]] native::ExecMode exec_mode();
 
 /// The process-wide telemetry registry, or nullptr unless
 /// --telemetry-interval / COSPARSE_TELEMETRY armed it. time_ip/time_op

@@ -1,0 +1,226 @@
+// Native-vs-sim host benchmark (ROADMAP item 4, DESIGN.md §14).
+//
+// Runs the same auto-reconfiguring SpMV density ramp through the engine
+// twice per sweep matrix — once cycle-accurately (exec_mode = sim) and
+// once through the native host kernels (exec_mode = native) — asserting
+// per leg that every output bit and every audited decision is identical,
+// and records honest wall-clock numbers in BENCH_native_host.json. The
+// gate: native must beat sim by --min-speedup (default 10x) on the
+// largest (sparsest) power-law matrix of the paper's equal-nnz family.
+// Native thread-scaling legs {1, 8} ride along; speedup there depends on
+// host_cores, which the JSON records instead of a context-free claim.
+// A BFS leg captures the per-iteration push/pull decision trail.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/digest.h"
+#include "graph/algorithms.h"
+#include "native/decision.h"
+#include "native/simd.h"
+#include "runtime/report.h"
+#include "sparse/generate.h"
+
+using namespace cosparse;
+
+namespace {
+
+constexpr double kDensityRamp[] = {0.0008, 0.003, 0.03, 0.3, 0.9, 0.02,
+                                   0.001};
+
+struct LegResult {
+  double wall_ms = 0.0;
+  std::string digest;     ///< every output bit of every iteration
+  std::string decisions;  ///< serialized decision audit (mode-independent)
+};
+
+/// One engine run over the density ramp; digests every output bit.
+/// Engine construction (matrix partitioning — mode-independent work) and
+/// frontier generation stay outside the timing window: wall_ms measures
+/// the spmv() calls, i.e. the execution backends being compared.
+LegResult run_ramp(const sparse::Coo& m, const sim::SystemConfig& sys,
+                   native::ExecMode mode, std::uint32_t threads, int reps) {
+  LegResult leg;
+  const Index n = m.rows();
+  std::vector<runtime::Engine::Frontier> frontiers;
+  std::uint64_t iter = 0;
+  for (const double density : kDensityRamp) {
+    frontiers.push_back(runtime::Engine::Frontier::from_sparse(
+        sparse::random_sparse_vector(n, density, 31 + iter++)));
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    runtime::EngineOptions opts;  // deliberately not engine_options():
+    opts.sim_threads = threads;   // each leg pins its own thread count
+    opts.exec_mode = mode;
+    runtime::Engine eng(m, sys, opts);
+    Digest d;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& f : frontiers) {
+      const auto out = eng.spmv(f, kernels::PlainSpmv{});
+      d.update_u64(out.num_touched());
+      out.for_each_touched(
+          [&d](Index r, Value v) { d.update_index(r); d.update_value(v); });
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    leg.wall_ms +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+    if (rep == 0) {
+      leg.digest = d.hex();
+      leg.decisions = eng.audit().to_json().dump(1);
+    }
+  }
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("native_host",
+                "Native host-kernel wall-clock vs the cycle-accurate "
+                "simulator (results are byte-identical by construction; "
+                "asserted per leg)");
+  bench::add_common_options(cli, "4");
+  cli.add_option("system", "AxB system", "4x8");
+  cli.add_option("reps", "timed repetitions per native leg", "3");
+  cli.add_option("min-speedup",
+                 "gate: minimum native-over-sim speedup on the largest "
+                 "matrix (0 disables)",
+                 "10");
+  cli.add_option("json-out", "machine-readable results",
+                 "BENCH_native_host.json");
+  if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
+
+  const auto scale = static_cast<unsigned>(cli.integer("scale"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const auto sys = bench::parse_systems(cli.str("system")).front();
+  const int reps = static_cast<int>(cli.integer("reps"));
+  const double min_speedup =
+      static_cast<double>(cli.integer("min-speedup"));
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  std::cout << "native_host: power-law sweep at scale " << scale << " on "
+            << sys.name() << "; host has " << host_cores << " core(s), simd "
+            << native::to_string(native::simd_level()) << "\n\n";
+
+  const auto sweep = bench::sweep_matrices(scale, /*power_law=*/true, seed);
+
+  Table table({"matrix", "nnz", "sim ms", "native ms", "native ms (8t)",
+               "speedup", "bit-identical"});
+  Json jlegs = Json::array();
+  bool all_identical = true;
+  double largest_speedup = 0.0;
+  for (const auto& [label, m] : sweep) {
+    // Sim is the expensive leg: one rep. Native legs are cheap: `reps`.
+    const LegResult sim = run_ramp(m, sys, native::ExecMode::kSim, 0, 1);
+    const LegResult nat1 =
+        run_ramp(m, sys, native::ExecMode::kNative, 1, reps);
+    const LegResult nat8 =
+        run_ramp(m, sys, native::ExecMode::kNative, 8, reps);
+    const bool identical = sim.digest == nat1.digest &&
+                           sim.digest == nat8.digest &&
+                           sim.decisions == nat1.decisions;
+    all_identical = all_identical && identical;
+    const double speedup =
+        nat1.wall_ms > 0.0 ? sim.wall_ms / nat1.wall_ms : 0.0;
+    largest_speedup = speedup;  // sweep order: the last matrix is largest
+    table.add_row({label, std::to_string(m.nnz()), Table::fmt(sim.wall_ms, 2),
+                   Table::fmt(nat1.wall_ms, 2), Table::fmt(nat8.wall_ms, 2),
+                   Table::fmt_ratio(speedup), identical ? "yes" : "NO"});
+    Json o = Json::object();
+    o["matrix"] = label;
+    o["dimension"] = m.rows();
+    o["nnz"] = m.nnz();
+    o["sim_wall_ms"] = sim.wall_ms;
+    o["native_wall_ms"] = nat1.wall_ms;
+    o["native_wall_ms_8_threads"] = nat8.wall_ms;
+    o["speedup_native_over_sim"] = speedup;
+    o["bit_identical"] = identical;
+    o["output_digest"] = sim.digest;
+    jlegs.push_back(std::move(o));
+  }
+  bench::emit("native_host", table);
+
+  // BFS leg: a real traversal under the native backend, recording the
+  // per-iteration push/pull decision trail the audit keeps (identically
+  // to sim mode — the differential harness enforces that).
+  Json bfs_leg = Json::object();
+  {
+    const auto& m = sweep.front().matrix;
+    runtime::EngineOptions opts;
+    opts.exec_mode = native::ExecMode::kNative;
+    opts.sim_threads = 0;
+    runtime::Engine eng(m, sys, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto bfs = graph::bfs(eng, /*source=*/0);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::size_t reached = 0;
+    for (auto l : bfs.level) reached += l >= 0 ? 1 : 0;
+    bfs_leg["matrix"] = sweep.front().label;
+    bfs_leg["wall_ms"] =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    bfs_leg["reached"] = reached;
+    bfs_leg["iterations"] = bfs.stats.iterations;
+    bfs_leg["pull_iterations"] = eng.native_decisions().pulls();
+    bfs_leg["push_iterations"] = eng.native_decisions().pushes();
+    Json iters = Json::array();
+    for (const auto& it : eng.iterations()) {
+      Json rec = Json::object();
+      rec["index"] = it.index;
+      rec["density"] = it.density;
+      rec["kernel"] = it.sw == runtime::SwConfig::kIP ? "pull" : "push";
+      rec["hw"] = sim::to_string(it.hw);
+      iters.push_back(std::move(rec));
+    }
+    bfs_leg["per_iteration"] = std::move(iters);
+    bfs_leg["decision_audit"] = eng.audit().to_json();
+    std::cout << "\nBFS (native): reached " << reached << " vertices in "
+              << bfs.stats.iterations << " iterations ("
+              << eng.native_decisions().pulls() << " pull, "
+              << eng.native_decisions().pushes() << " push)\n";
+  }
+
+  Json doc = Json::object();
+  doc["schema"] = "cosparse.bench_native_host/v1";
+  doc["system"] = sys.name();
+  doc["scale"] = scale;
+  doc["seed"] = seed;
+  doc["reps"] = reps;
+  doc["host_cores"] = host_cores;
+  doc["cpu_model"] = native::cpu_model_string();
+  doc["simd"] = std::string(native::to_string(native::simd_level()));
+  doc["iterations_per_leg"] =
+      static_cast<std::uint64_t>(std::size(kDensityRamp));
+  doc["all_outputs_bit_identical"] = all_identical;
+  doc["largest_matrix_speedup"] = largest_speedup;
+  doc["note"] =
+      "wall_ms is host wall-clock on the machine named by cpu_model / "
+      "host_cores; speedup_native_over_sim compares the serial "
+      "cycle-accurate simulator against the single-threaded native "
+      "backend on the same density ramp (outputs asserted bit-identical "
+      "per leg, decision audits included). native_wall_ms_8_threads only "
+      "beats the 1-thread leg when host_cores > 1. simd names the "
+      "dispatched kernel level (COSPARSE_NATIVE_SIMD=off forces scalar).";
+  doc["legs"] = std::move(jlegs);
+  doc["bfs"] = std::move(bfs_leg);
+  std::ofstream out(cli.str("json-out"));
+  out << doc.dump(1) << "\n";
+  std::cout << "wrote " << cli.str("json-out") << "\n";
+
+  const int exit_code = bench::finish_run();
+  if (!all_identical) {
+    std::cerr << "FAIL: a native leg diverged from the sim report\n";
+    return 1;
+  }
+  if (min_speedup > 0.0 && largest_speedup < min_speedup) {
+    std::cerr << "FAIL: native speedup " << largest_speedup
+              << "x on the largest matrix is below the " << min_speedup
+              << "x gate\n";
+    return 1;
+  }
+  return exit_code;
+}

@@ -12,6 +12,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "graph/algorithms.h"
+#include "native/exec_mode.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/telemetry.h"
@@ -62,6 +63,11 @@ int main(int argc, char** argv) {
                  "write Perfetto trace-event JSON to this path "
                  "(COSPARSE_TRACE env var is the fallback)",
                  "");
+  cli.add_option("exec-mode",
+                 "execution backend: sim (cycle-accurate, the default) or "
+                 "native (results-only host kernels, no cycle model; "
+                 "COSPARSE_EXEC_MODE is the fallback)",
+                 "");
   obs::TelemetrySession::add_cli_options(cli);
   obs::CpuProfileSession::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
@@ -88,6 +94,10 @@ int main(int argc, char** argv) {
   if (!cli.str("sim-threads").empty()) {
     obs_opts.sim_threads = static_cast<std::uint32_t>(cli.integer("sim-threads"));
   }
+  obs_opts.exec_mode = native::resolve_exec_mode(
+      cli.str("exec-mode").empty()
+          ? std::nullopt
+          : std::optional<std::string>(cli.str("exec-mode")));
   obs_opts.trace = &trace;
   obs_opts.metrics = &metrics;
   // One telemetry stream spans all three traversal engines, like the

@@ -8,14 +8,17 @@
 // run report and a Perfetto-loadable trace.
 //
 //   ./quickstart [--vertices N] [--edges M] [--seed S] [--profile]
+//                [--exec-mode sim|native]
 //                [--report-out run.json] [--trace-out trace.json]
 //                [--telemetry-interval 1i --telemetry-out t.jsonl
 //                 --prom-out metrics.prom --slo 'p99.engine.iteration_ms<50']
 #include <iostream>
 
 #include "common/cli.h"
+#include "common/digest.h"
 #include "graph/algorithms.h"
 #include "kernels/semiring.h"
+#include "native/exec_mode.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/telemetry.h"
@@ -40,6 +43,12 @@ int main(int argc, char** argv) {
                  "host threads for tile-parallel simulation (0 = serial; "
                  "COSPARSE_SIM_THREADS is the fallback; results are "
                  "bit-identical for any value)",
+                 "");
+  cli.add_option("exec-mode",
+                 "execution backend: sim (cycle-accurate, the default) or "
+                 "native (results-only host kernels, no cycle model; "
+                 "COSPARSE_EXEC_MODE is the fallback; results are "
+                 "byte-identical across modes)",
                  "");
   cli.add_option("trace-out",
                  "write Perfetto trace-event JSON to this path "
@@ -71,6 +80,10 @@ int main(int argc, char** argv) {
   if (!cli.str("sim-threads").empty()) {
     opts.sim_threads = static_cast<std::uint32_t>(cli.integer("sim-threads"));
   }
+  opts.exec_mode = native::resolve_exec_mode(
+      cli.str("exec-mode").empty()
+          ? std::nullopt
+          : std::optional<std::string>(cli.str("exec-mode")));
   opts.trace = &trace;
   opts.metrics = &metrics;
   // Continuous telemetry (off unless --telemetry-interval or
@@ -111,22 +124,33 @@ int main(int argc, char** argv) {
   std::size_t reached = 0;
   for (auto l : bfs.level) reached += l >= 0 ? 1 : 0;
 
+  const bool is_native = opts.exec_mode == native::ExecMode::kNative;
   std::cout << "CoSPARSE quickstart on a " << n << "-vertex, " << m
-            << "-edge random graph, " << system.name() << " system\n\n";
+            << "-edge random graph, " << system.name() << " system ("
+            << native::to_string(opts.exec_mode) << " mode)\n\n";
   for (const auto& it : engine.iterations()) {
     std::cout << "iteration " << it.index << ": frontier density "
               << it.density * 100 << "%, ran " << to_string(it.sw) << " in "
-              << sim::to_string(it.hw) << (it.hw_switched ? " (reconfigured)" : "")
-              << ", " << it.cycles << " cycles, "
-              << it.energy_pj * 1e-6 << " uJ\n";
+              << sim::to_string(it.hw)
+              << (it.hw_switched ? " (reconfigured)" : "");
+    if (!is_native) {
+      std::cout << ", " << it.cycles << " cycles, " << it.energy_pj * 1e-6
+                << " uJ";
+    }
+    std::cout << "\n";
   }
   std::cout << "\ntouched " << out1.num_touched() << " rows (sparse run), "
             << out2.num_touched() << " rows (dense run)\n"
             << "BFS from vertex 0: reached " << reached << " vertices in "
-            << bfs.stats.iterations << " iterations\n"
-            << "total: " << engine.total_cycles() << " cycles, "
-            << engine.total_energy_pj() * 1e-6 << " uJ, avg "
-            << engine.machine().watts() << " W\n";
+            << bfs.stats.iterations << " iterations\n";
+  if (is_native) {
+    std::cout << "native mode: no cycle model (results are byte-identical "
+                 "to sim mode)\n";
+  } else {
+    std::cout << "total: " << engine.total_cycles() << " cycles, "
+              << engine.total_energy_pj() * 1e-6 << " uJ, avg "
+              << engine.machine().watts() << " W\n";
+  }
 
   // 6. Machine-readable outputs: one JSON run report (global + per-tile
   //    stats, iteration records, metrics, telemetry) and a Perfetto
@@ -142,6 +166,27 @@ int main(int argc, char** argv) {
     dataset["edges"] = m;
     dataset["seed"] = seed;
     report.set("dataset", std::move(dataset));
+    // Bitwise result digests: the same graph run under --exec-mode sim and
+    // --exec-mode native must produce identical digests (the CI native
+    // quickstart gates compare this section byte-for-byte; DESIGN.md §14).
+    const auto digest_output = [](const runtime::Engine::Output& out) {
+      Digest d;
+      d.update_u64(out.num_touched());
+      out.for_each_touched(
+          [&d](Index r, Value v) { d.update_index(r); d.update_value(v); });
+      return d.hex();
+    };
+    Digest bfs_digest;
+    for (const auto l : bfs.level) {
+      bfs_digest.update_u64(static_cast<std::uint64_t>(l));
+    }
+    Json results = Json::object();
+    results["spmv_sparse_digest"] = digest_output(out1);
+    results["spmv_dense_digest"] = digest_output(out2);
+    results["bfs_levels_digest"] = bfs_digest.hex();
+    results["bfs_reached"] = reached;
+    results["bfs_iterations"] = bfs.stats.iterations;
+    report.set("results", std::move(results));
     if (cpu_profile.armed()) {
       report.set("cpu_profile", cpu_profile.report());
     }

@@ -9,6 +9,7 @@
 #include "common/cli.h"
 #include "common/rng.h"
 #include "graph/algorithms.h"
+#include "native/exec_mode.h"
 #include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "runtime/engine.h"
@@ -33,6 +34,11 @@ int main(int argc, char** argv) {
                  "host threads for tile-parallel simulation (0 = serial; "
                  "COSPARSE_SIM_THREADS is the fallback; results are "
                  "bit-identical for any value)",
+                 "");
+  cli.add_option("exec-mode",
+                 "execution backend: sim (cycle-accurate, the default) or "
+                 "native (results-only host kernels, no cycle model; "
+                 "COSPARSE_EXEC_MODE is the fallback)",
                  "");
   obs::TelemetrySession::add_cli_options(cli);
   obs::CpuProfileSession::add_cli_options(cli);
@@ -68,6 +74,10 @@ int main(int argc, char** argv) {
     eng_opts.sim_threads =
         static_cast<std::uint32_t>(cli.integer("sim-threads"));
   }
+  eng_opts.exec_mode = native::resolve_exec_mode(
+      cli.str("exec-mode").empty()
+          ? std::nullopt
+          : std::optional<std::string>(cli.str("exec-mode")));
   obs::TelemetrySession telemetry;
   telemetry.init(cli, "recommender_cf");
   eng_opts.telemetry = telemetry.telemetry();
@@ -103,9 +113,14 @@ int main(int argc, char** argv) {
   std::cout << "\nall " << model.stats.iterations
             << " iterations ran the dense inner-product dataflow ("
             << model.stats.hw_switches()
-            << " hardware reconfigurations after warmup); simulated "
-            << model.stats.seconds(system.freq_ghz) * 1e3 << " ms, "
-            << model.stats.joules() * 1e3 << " mJ\n";
+            << " hardware reconfigurations after warmup)";
+  if (eng_opts.exec_mode == native::ExecMode::kNative) {
+    std::cout << "; native mode, no cycle model\n";
+  } else {
+    std::cout << "; simulated "
+              << model.stats.seconds(system.freq_ghz) * 1e3 << " ms, "
+              << model.stats.joules() * 1e3 << " mJ\n";
+  }
 
   // Finalize before the report so the final flush snapshot and SLO
   // verdict land in the telemetry section.

@@ -37,8 +37,12 @@ inline constexpr std::uint32_t kValueBytes = 8;
 /// (round-robin interleaving, so shared caches see concurrent pressure).
 inline constexpr std::uint32_t kIpInterleaveElems = 64;
 
-template <Semiring S>
-IpResult run_inner_product(sim::Machine& m, AddressMap& amap,
+// The machine/address-map types are template parameters (defaulting to the
+// simulated pair) so the native backend can run this exact loop with
+// charge-free stand-ins (native::HostMachine / native::NullAddressMap,
+// DESIGN.md §14): same operations, same order, bit-identical results.
+template <Semiring S, class Machine = sim::Machine, class AMap = AddressMap>
+IpResult run_inner_product(Machine& m, AMap& amap,
                            const IpPartitionedMatrix& A,
                            const DenseFrontier& x, const S& sr) {
   COSPARSE_CHECK_MSG(A.cols() == x.dimension(),

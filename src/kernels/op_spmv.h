@@ -44,8 +44,11 @@ inline constexpr std::uint32_t kColPtrBytes = 16;   ///< begin+end offsets
 /// Row-groups a PE completes before yielding to the next PE of its tile.
 inline constexpr std::uint32_t kOpInterleavePops = 16;
 
-template <Semiring S>
-OpResult run_outer_product(sim::Machine& m, AddressMap& amap,
+// Templated over the machine/address-map pair for the same reason as
+// run_inner_product: the native backend re-runs this exact loop with no-op
+// charges (DESIGN.md §14).
+template <Semiring S, class Machine = sim::Machine, class AMap = AddressMap>
+OpResult run_outer_product(Machine& m, AMap& amap,
                            const OpStripedMatrix& A,
                            const sparse::SparseVector& x,
                            const sparse::DenseVector* x_dst_old, const S& sr) {

@@ -1,0 +1,53 @@
+#include "native/simd.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace cosparse::native {
+
+const char* to_string(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+namespace {
+
+bool simd_disabled_by_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at first dispatch.
+  const char* env = std::getenv("COSPARSE_NATIVE_SIMD");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "off" || v == "scalar" || v == "0";
+}
+
+SimdLevel detect() {
+#ifdef COSPARSE_HAVE_AVX2
+  if (!simd_disabled_by_env() && __builtin_cpu_supports("avx2")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel simd_level() {
+  static const SimdLevel level = detect();
+  return level;
+}
+
+std::string cpu_model_string() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto key_end = line.find(':');
+    if (key_end == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") != 0) continue;
+    std::size_t v = key_end + 1;
+    while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
+    if (v < line.size()) return line.substr(v);
+  }
+  return "unknown";
+}
+
+}  // namespace cosparse::native

@@ -1,0 +1,33 @@
+// Runtime SIMD capability detection for the native backend.
+//
+// The AVX2 pull-SpMV specialization (simd_avx2.cpp) is compiled into its
+// own translation unit with -mavx2 whenever the compiler supports the flag
+// (COSPARSE_HAVE_AVX2); whether it *runs* is decided here, once, from
+// CPUID — so one binary serves both old and new hosts, and CI can force
+// the scalar fallback on an AVX2 machine with COSPARSE_NATIVE_SIMD=off to
+// prove both paths produce identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosparse::native {
+
+enum class SimdLevel : std::uint8_t {
+  kScalar,  ///< portable templated kernels only
+  kAvx2,    ///< AVX2 specialization eligible for the arithmetic semiring
+};
+
+[[nodiscard]] const char* to_string(SimdLevel level);
+
+/// The level native kernels dispatch on: kAvx2 iff the binary carries the
+/// AVX2 translation unit, the CPU reports the feature, and the
+/// COSPARSE_NATIVE_SIMD environment variable is not "off"/"scalar"/"0".
+/// Detected once (first call) and cached.
+[[nodiscard]] SimdLevel simd_level();
+
+/// Human-readable CPU model ("model name" from /proc/cpuinfo, or "unknown")
+/// for the honest-machine stamp in bench report "host" sections.
+[[nodiscard]] std::string cpu_model_string();
+
+}  // namespace cosparse::native

@@ -1,0 +1,120 @@
+// See simd_avx2.h for the bit-exactness argument. This translation unit is
+// compiled with -mavx2 -ffp-contract=off and must never execute on a CPU
+// without AVX2 — native/spmv.h guards every call with simd_level().
+#include "native/simd_avx2.h"
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "kernels/semiring.h"
+
+namespace cosparse::native {
+
+namespace {
+
+// One PE partition's share of the stream, vblock-major — the same element
+// order kernels::run_inner_product walks. `y`/`touched` rows are exclusive
+// to this PE; returns the count of newly touched rows.
+std::size_t pull_partition_avx2(
+    const kernels::IpPartitionedMatrix& A, const kernels::DenseFrontier& x,
+    const kernels::IpPartitionedMatrix::PePartition& part,
+                                sparse::DenseVector& y,
+                                std::vector<std::uint8_t>& touched) {
+  const kernels::PlainSpmv sr;
+  const bool all_active = x.all_active();
+  const double* xval = x.values.values().data();
+  const Index n_rows = A.rows();
+  std::size_t my_touched = 0;
+
+  Index cur_row = n_rows;  // sentinel: no open row
+  Value acc = sr.reduce_identity();
+  bool acc_open = false;
+
+  const auto flush_row = [&] {
+    if (!acc_open) return;
+    y[cur_row] = sr.reduce(y[cur_row], acc);
+    if (!touched[cur_row]) {
+      touched[cur_row] = 1;
+      ++my_touched;
+    }
+    acc = sr.reduce_identity();
+    acc_open = false;
+  };
+
+  // Accumulates the already-formed product of element `k` (row-change
+  // flush + activity gate + ordered scalar add, identical to the scalar
+  // kernel's per-element tail).
+  const auto accumulate = [&](Offset k, Value prod) {
+    const auto& e = A.elems()[k];
+    if (e.row != cur_row) {
+      flush_row();
+      cur_row = e.row;
+    }
+    if (!all_active && x.active[e.col] == 0) return;
+    acc = sr.reduce(acc, prod);
+    acc_open = true;
+  };
+
+  for (std::uint32_t vb = 0; vb < A.num_vblocks(); ++vb) {
+    auto [k, k_end] = part.vblocks[vb];
+    cur_row = n_rows;
+    acc = sr.reduce_identity();
+    acc_open = false;
+
+    // 4-wide blocks: SIMD multiply, scalar ordered accumulation.
+    for (; k + 4 <= k_end; k += 4) {
+      const auto* e = &A.elems()[k];
+      const __m256d a = _mm256_setr_pd(e[0].value, e[1].value, e[2].value,
+                                       e[3].value);
+      const __m128i cols =
+          _mm_setr_epi32(static_cast<int>(e[0].col), static_cast<int>(e[1].col),
+                         static_cast<int>(e[2].col),
+                         static_cast<int>(e[3].col));
+      const __m256d xv = _mm256_i32gather_pd(xval, cols, 8);
+      alignas(32) double prod[4];
+      _mm256_store_pd(prod, _mm256_mul_pd(a, xv));
+      for (int j = 0; j < 4; ++j) {
+        accumulate(k + static_cast<Offset>(j), prod[j]);
+      }
+    }
+    // Tail (< 4 elements): scalar multiply — same IEEE operation.
+    for (; k < k_end; ++k) {
+      const auto& e = A.elems()[k];
+      accumulate(k, sr.edge(e.value, xval[e.col], 0));
+    }
+    flush_row();
+  }
+  return my_touched;
+}
+
+}  // namespace
+
+kernels::IpResult avx2_pull_plain(const kernels::IpPartitionedMatrix& A,
+                                  const kernels::DenseFrontier& x,
+                                  sim::ParallelExecutor* exec) {
+  COSPARSE_CHECK_MSG(A.cols() == x.dimension(),
+                     "IP: matrix/vector dimension mismatch");
+  const kernels::PlainSpmv sr;
+  kernels::IpResult out;
+  out.y = sparse::DenseVector(A.rows(), sr.reduce_identity());
+  out.touched.assign(A.rows(), 0);
+
+  const auto& parts = A.partitions();
+  const auto pes = static_cast<std::uint32_t>(parts.size());
+  std::vector<std::size_t> pe_touched(pes, 0);
+  const auto body = [&](std::uint32_t pe) {
+    pe_touched[pe] = pull_partition_avx2(A, x, parts[pe], out.y, out.touched);
+  };
+  if (exec != nullptr) {
+    exec->run(pes, body);
+  } else {
+    for (std::uint32_t pe = 0; pe < pes; ++pe) body(pe);
+  }
+  for (const std::size_t t : pe_touched) out.num_touched += t;
+  return out;
+}
+
+}  // namespace cosparse::native

@@ -1,0 +1,32 @@
+// AVX2 pull-SpMV specialization for the arithmetic semiring (PlainSpmv).
+//
+// Only the elementwise edge products are vectorized (_mm256_mul_pd over
+// 4-element blocks of the COO stream, frontier values fetched by gather);
+// the reductions stay scalar, in exactly the templated kernel's order.
+// IEEE-754 multiplication is elementwise — a vector lane multiply returns
+// the same bits as the scalar multiply of the same operands (the TU is
+// compiled with -ffp-contract=off, so no FMA ever fuses a product into an
+// add) — and since every add happens on the same values in the same order,
+// the result is bit-identical to the scalar kernel (DESIGN.md §14). The
+// differential suite and the CI scalar-forced leg both enforce this.
+//
+// Declared unconditionally; defined only when the build carries the AVX2
+// translation unit (COSPARSE_HAVE_AVX2), and called only behind the
+// runtime simd_level() dispatch in native/spmv.h.
+#pragma once
+
+#include "kernels/frontier.h"
+#include "kernels/ip_spmv.h"
+#include "kernels/partition.h"
+#include "sim/parallel.h"
+
+namespace cosparse::native {
+
+/// Row-parallel pull SpMV over the nnz-balanced PE partitions; `exec`
+/// (optional, not owned) runs PE ranges concurrently — rows are
+/// PE-exclusive, so any thread count produces identical bytes.
+[[nodiscard]] kernels::IpResult avx2_pull_plain(
+    const kernels::IpPartitionedMatrix& A, const kernels::DenseFrontier& x,
+    sim::ParallelExecutor* exec);
+
+}  // namespace cosparse::native

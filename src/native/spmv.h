@@ -1,0 +1,57 @@
+// Native (results-only) SpMV entry points — ROADMAP item 4.
+//
+// Both functions run the *same templated kernel loops* as the simulator,
+// instantiated with the charge-free HostMachine/NullAddressMap pair, so
+// outputs are bit-identical to sim mode by construction (DESIGN.md §14).
+// The pull path additionally dispatches to the AVX2 specialization for the
+// arithmetic semiring when the CPU supports it (native/simd.h); the
+// specialization is bit-identical too (only elementwise multiplies are
+// vectorized; reduction order is untouched).
+#pragma once
+
+#include <type_traits>
+
+#include "kernels/ip_spmv.h"
+#include "kernels/op_spmv.h"
+#include "native/host_machine.h"
+#include "native/simd.h"
+#include "native/simd_avx2.h"
+#include "obs/sampler.h"
+
+namespace cosparse::native {
+
+/// Row-parallel pull SpMV over a dense frontier (IP dataflow). `hw`
+/// selects the layout semantics the caller already chose (SCS layouts are
+/// vblocked); `exec` (optional, not owned) parallelizes over tiles/PEs.
+template <kernels::Semiring S>
+kernels::IpResult pull_spmv(const sim::SystemConfig& cfg, sim::HwConfig hw,
+                            sim::ParallelExecutor* exec,
+                            const kernels::IpPartitionedMatrix& A,
+                            const kernels::DenseFrontier& x, const S& sr) {
+  const obs::PhaseScope phase("native.kernel.pull");
+#ifdef COSPARSE_HAVE_AVX2
+  if constexpr (std::is_same_v<S, kernels::PlainSpmv>) {
+    if (simd_level() == SimdLevel::kAvx2) return avx2_pull_plain(A, x, exec);
+  }
+#endif
+  HostMachine m(cfg, hw, exec);
+  NullAddressMap amap;
+  return kernels::run_inner_product(m, amap, A, x, sr);
+}
+
+/// Push SpMSpV over a sparse frontier (OP dataflow): per-PE column merge
+/// with thread-local accumulators, merged per tile in row order.
+template <kernels::Semiring S>
+kernels::OpResult push_spmsv(const sim::SystemConfig& cfg, sim::HwConfig hw,
+                             sim::ParallelExecutor* exec,
+                             const kernels::OpStripedMatrix& A,
+                             const sparse::SparseVector& x,
+                             const sparse::DenseVector* x_dst_old,
+                             const S& sr) {
+  const obs::PhaseScope phase("native.kernel.push");
+  HostMachine m(cfg, hw, exec);
+  NullAddressMap amap;
+  return kernels::run_outer_product(m, amap, A, x, x_dst_old, sr);
+}
+
+}  // namespace cosparse::native

@@ -27,6 +27,37 @@ Json results_subset(const Json& report) {
   return out;
 }
 
+Json functional_subset(const Json& report) {
+  Json out = Json::object();
+  if (!report.is_object()) return out;
+  for (const char* key : {"schema", "tool", "seed", "dataset", "results"}) {
+    if (const Json* v = report.find(key); v != nullptr) out[key] = *v;
+  }
+  if (const Json* iters = report.find("iterations");
+      iters != nullptr && iters->is_array()) {
+    Json norm = Json::array();
+    for (const Json& it : iters->items()) {
+      if (!it.is_object()) {
+        norm.push_back(it);
+        continue;
+      }
+      Json rec = Json::object();
+      for (const auto& [k, v] : it.members()) {
+        if (k == "cycles" || k == "convert_cycles" || k == "energy_pj") {
+          continue;
+        }
+        rec[k] = v;
+      }
+      norm.push_back(std::move(rec));
+    }
+    out["iterations"] = std::move(norm);
+  }
+  if (const Json* audit = report.find("decision_audit"); audit != nullptr) {
+    out["decision_audit"] = *audit;
+  }
+  return out;
+}
+
 void Report::write(const std::string& path) const {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());

@@ -48,4 +48,14 @@ class Report {
 /// exactly this document (see also `cosparse-prof extract`).
 [[nodiscard]] Json results_subset(const Json& report);
 
+/// The *functional* subset of a run report: only the sections whose bytes
+/// are mode-independent — schema, tool, seed, dataset, results, the
+/// decision audit, and the iteration records normalized by stripping their
+/// cycle/energy fields (cycles are simulated quantities; native mode has
+/// none). This is the document the sim-vs-native differential suite and
+/// the CI cross-mode gate byte-compare (`cosparse-prof extract
+/// --functional`): two exec modes of the same workload must produce
+/// identical functional subsets.
+[[nodiscard]] Json functional_subset(const Json& report);
+
 }  // namespace cosparse::obs

@@ -14,11 +14,19 @@ Engine::Engine(const sparse::Coo& adjacency, const sim::SystemConfig& cfg,
       machine_(cfg, opts.fixed_hw.value_or(sim::HwConfig::kSC)),
       amap_(machine_),
       decider_(cfg, opts.thresholds),
+      native_hw_(opts.fixed_hw.value_or(sim::HwConfig::kSC)),
       trace_(opts.trace),
       metrics_(opts.metrics),
       telemetry_(opts.telemetry) {
   machine_.set_trace(trace_);
   machine_.set_telemetry(telemetry_);
+  if (telemetry_ != nullptr &&
+      opts_.exec_mode == native::ExecMode::kNative) {
+    // Stamp native streams so consumers (cosparse-top) can tell there is
+    // no tile/cycle data behind them; sim streams are left untouched.
+    telemetry_->set_header("exec_mode",
+                           Json(std::string(to_string(opts_.exec_mode))));
+  }
   // Tile-parallel simulation: an external executor wins; otherwise resolve
   // sim_threads (nullopt -> COSPARSE_SIM_THREADS) and own the pool. Thread
   // count never changes results (sim::Machine::for_tiles).
@@ -93,6 +101,9 @@ Decision Engine::resolve_decision(std::size_t frontier_nnz) const {
 
 void Engine::charge_vector_pass(std::size_t elements, double ops_per_element,
                                 std::uint32_t bytes_per_element) {
+  // Native mode has no cycle model; the vector pass itself already ran as
+  // plain host code in the algorithm layer.
+  if (opts_.exec_mode == native::ExecMode::kNative) return;
   if (elements == 0) return;
   const std::uint32_t pes = machine_.num_pes();
   const std::size_t per_pe = (elements + pes - 1) / pes;
@@ -154,21 +165,31 @@ IterationRecord iteration_record_from_json(const Json& j) {
 void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
                               Cycles kernel_begin, Cycles kernel_end,
                               double wall_ms) {
+  const bool is_native = opts_.exec_mode == native::ExecMode::kNative;
   if (telemetry_ != nullptr) {
     telemetry_->histogram("engine.iteration_ms").observe(wall_ms);
-    telemetry_->histogram("engine.iteration_cycles")
-        .observe(static_cast<double>(rec.cycles));
-    telemetry_->histogram("engine.kernel_cycles")
-        .observe(static_cast<double>(kernel_end - kernel_begin));
+    if (!is_native) {
+      telemetry_->histogram("engine.iteration_cycles")
+          .observe(static_cast<double>(rec.cycles));
+      telemetry_->histogram("engine.kernel_cycles")
+          .observe(static_cast<double>(kernel_end - kernel_begin));
+    }
     telemetry_->histogram("engine.frontier_density").observe(rec.density);
-    if (rec.converted_frontier) {
+    if (!is_native && rec.converted_frontier) {
       telemetry_->histogram("engine.convert_cycles")
           .observe(static_cast<double>(rec.convert_cycles));
     }
     // Snapshot pulse. The extra sampler runs only when the cadence fires:
-    // per-tile busy cycles feed cosparse-top's tile bars.
-    telemetry_->tick(rec.index + 1, [this] {
+    // per-tile busy cycles feed cosparse-top's tile bars. Native snapshots
+    // carry no tile_busy_cycles (there is no cycle model behind them);
+    // cosparse-top suppresses its tile panel for such streams.
+    telemetry_->tick(rec.index + 1, [this, is_native, &rec] {
       Json ex = Json::object();
+      if (is_native) {
+        ex["exec_mode"] = std::string(native::to_string(opts_.exec_mode));
+        ex["hw"] = sim::to_string(rec.hw);
+        return ex;
+      }
       Json tiles = Json::array();
       for (const sim::Stats& t : machine_.tile_stats()) {
         tiles.push_back(t.pe_compute_cycles + t.pe_mem_stall_cycles);
@@ -185,10 +206,18 @@ void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
     if (rec.hw_switched) metrics_->counter("engine.hw_switches").inc();
     if (rec.converted_frontier)
       metrics_->counter("engine.frontier_conversions").inc();
-    metrics_->counter(std::string("engine.cycles.") + sim::to_string(rec.hw))
-        .inc(rec.cycles);
+    if (is_native) {
+      metrics_
+          ->counter(std::string("native.kernel.") +
+                    (rec.sw == SwConfig::kIP ? "pull" : "push"))
+          .inc();
+    } else {
+      metrics_->counter(std::string("engine.cycles.") + sim::to_string(rec.hw))
+          .inc(rec.cycles);
+    }
     metrics_->histogram("engine.frontier_density").observe(rec.density);
   }
+  if (is_native) return;  // trace spans live in the simulated-cycle domain
   if (trace_ != nullptr && trace_->enabled()) {
     Json args = Json::object();
     args["iteration"] = rec.index;
@@ -216,17 +245,34 @@ void Engine::record_iteration(const IterationRecord& rec, Cycles iter_begin,
   }
 }
 
-const kernels::DenseFrontier& Engine::convert_to_dense(
-    const sparse::SparseVector& sv, Value identity, Cycles* cost) {
-  const obs::PhaseScope phase("engine.frontier");
-  const Cycles start = machine_.cycles();
-  // Reset the staging buffer in place (stable host storage, see engine.h).
+const kernels::DenseFrontier& Engine::fill_dense_staging(
+    const sparse::SparseVector& sv, Value identity) {
+  // Reset the staging buffer in place (stable host storage, see engine.h),
+  // then scatter the entries.
   kernels::DenseFrontier& df = staged_dense_;
   std::fill(df.values.values().begin(), df.values.values().end(), identity);
   std::fill(df.active.begin(), df.active.end(), std::uint8_t{0});
   df.num_active = 0;
+  for (const auto& e : sv.entries()) df.set(e.index, e.value);
+  return df;
+}
+
+const sparse::SparseVector& Engine::fill_sparse_staging(
+    const kernels::DenseFrontier& df) {
+  staged_sparse_.clear();
+  for (Index i = 0; i < df.dimension(); ++i) {
+    if (df.active[i]) staged_sparse_.push_back(i, df.values[i]);
+  }
+  return staged_sparse_;
+}
+
+const kernels::DenseFrontier& Engine::convert_to_dense(
+    const sparse::SparseVector& sv, Value identity, Cycles* cost) {
+  const obs::PhaseScope phase("engine.frontier");
+  const Cycles start = machine_.cycles();
   // Bulk-initialize the value array and bitmap (DMA), then scatter the
-  // entries across the PEs.
+  // entries across the PEs. Charges depend only on sizes, so the
+  // functional refill (fill_dense_staging below) is safely factored out.
   machine_.dma_traffic(static_cast<std::size_t>(sv.dimension()) * 8 +
                            sv.dimension() / 8,
                        /*write=*/true);
@@ -239,7 +285,6 @@ const kernels::DenseFrontier& Engine::convert_to_dense(
   // Entry stream reads + scattered value/bit writes.
   machine_.dma_traffic(sv.nnz() * 12, /*write=*/false);
   machine_.dma_traffic(sv.nnz() * 9, /*write=*/true);
-  for (const auto& e : sv.entries()) df.set(e.index, e.value);
   machine_.global_barrier();
   if (cost != nullptr) *cost = machine_.cycles() - start;
   if (trace_ != nullptr && trace_->enabled()) {
@@ -249,7 +294,7 @@ const kernels::DenseFrontier& Engine::convert_to_dense(
                      static_cast<double>(start),
                      static_cast<double>(machine_.cycles()), std::move(args));
   }
-  return df;
+  return fill_dense_staging(sv, identity);
 }
 
 const sparse::SparseVector& Engine::convert_to_sparse(
@@ -291,11 +336,7 @@ const sparse::SparseVector& Engine::convert_to_sparse(
                      static_cast<double>(start),
                      static_cast<double>(machine_.cycles()), std::move(args));
   }
-  staged_sparse_.clear();
-  for (Index i = 0; i < df.dimension(); ++i) {
-    if (df.active[i]) staged_sparse_.push_back(i, df.values[i]);
-  }
-  return staged_sparse_;
+  return fill_sparse_staging(df);
 }
 
 }  // namespace cosparse::runtime

@@ -29,6 +29,9 @@
 #include "kernels/ip_spmv.h"
 #include "kernels/op_spmv.h"
 #include "kernels/partition.h"
+#include "native/decision.h"
+#include "native/exec_mode.h"
+#include "native/spmv.h"
 #include "runtime/audit.h"
 #include "runtime/decision.h"
 #include "sim/machine.h"
@@ -78,6 +81,15 @@ struct EngineOptions {
   /// External executor to share across engines (not owned; must outlive
   /// the engine). Overrides `sim_threads` when set.
   sim::ParallelExecutor* executor = nullptr;
+  /// Execution backend (ROADMAP item 4). kSim runs kernels through the
+  /// cycle-accurate simulator; kNative runs the same kernel loops as plain
+  /// host code (src/native/) — no event logs, no cache model, no cycle
+  /// accounting — producing byte-identical results (the native
+  /// differential harness and the CI byte-compare gate enforce this).
+  /// Decisions are still made and audited identically; iteration records
+  /// carry cycles = 0. The executor/sim_threads knobs parallelize native
+  /// kernels over tiles exactly as they parallelize the simulator.
+  native::ExecMode exec_mode = native::ExecMode::kSim;
 };
 
 /// One row of the Fig. 9-style iteration log.
@@ -173,6 +185,12 @@ class Engine {
   [[nodiscard]] sim::Machine& machine() { return machine_; }
   [[nodiscard]] const sim::Machine& machine() const { return machine_; }
   [[nodiscard]] const DecisionEngine& decisions() const { return decider_; }
+  [[nodiscard]] native::ExecMode exec_mode() const { return opts_.exec_mode; }
+  /// Native kernel-family tally (pull/push iteration counts); meaningful
+  /// only in native mode (all zero under simulation).
+  [[nodiscard]] const native::DecisionEngine& native_decisions() const {
+    return native_decider_;
+  }
   /// Per-invocation decision audit (always on; serialized into the
   /// "decision_audit" run-report section).
   [[nodiscard]] const AuditTrail& audit() const { return audit_; }
@@ -209,6 +227,15 @@ class Engine {
   const kernels::DenseFrontier& stage_dense(const kernels::DenseFrontier& df);
   const sparse::SparseVector& stage_sparse(const sparse::SparseVector& sv);
 
+  /// Functional halves of the frontier conversions: refill the staging
+  /// buffers with no machine charges. convert_to_dense/convert_to_sparse
+  /// delegate to these after charging; the native path calls them
+  /// directly, so both modes run the identical conversion code.
+  const kernels::DenseFrontier& fill_dense_staging(
+      const sparse::SparseVector& sv, Value identity);
+  const sparse::SparseVector& fill_sparse_staging(
+      const kernels::DenseFrontier& df);
+
   Decision resolve_decision(std::size_t frontier_nnz) const;
 
   /// Publishes the finished iteration into the attached trace/metrics
@@ -218,12 +245,24 @@ class Engine {
                         Cycles kernel_begin, Cycles kernel_end,
                         double wall_ms);
 
+  /// Native-mode body of spmv() (engine.h bottom); same decision flow,
+  /// charge-free kernels, wall-clock-only observability.
+  template <kernels::Semiring S>
+  Output spmv_native(const Frontier& f, const S& sr,
+                     const sparse::DenseVector* dst_old);
+
   EngineOptions opts_;
   std::unique_ptr<sim::ParallelExecutor> owned_exec_;  ///< see sim_threads
   sim::Machine machine_;
   kernels::AddressMap amap_;
   AuditTrail audit_;
   DecisionEngine decider_;
+  /// Native mode's view of the decided hardware config. The simulated
+  /// machine's hierarchy is never reconfigured in native mode (there is
+  /// nothing to flush); this mirror keeps hw_switched in the iteration
+  /// records identical to sim mode and selects the matching IP layout.
+  sim::HwConfig native_hw_;
+  native::DecisionEngine native_decider_;
   // Two IP layouts stay resident: SC streams plain nnz-balanced row
   // partitions, SCS needs the vblocked ordering so the vector segment of
   // the active vblock fits the tile scratchpad (paper Fig. 3). Keeping
@@ -255,6 +294,9 @@ class Engine {
 template <kernels::Semiring S>
 Engine::Output Engine::spmv(const Frontier& f, const S& sr,
                             const sparse::DenseVector* dst_old) {
+  if (opts_.exec_mode == native::ExecMode::kNative) {
+    return spmv_native(f, sr, dst_old);
+  }
   const obs::PhaseScope phase("engine.spmv");
   const auto wall_begin = std::chrono::steady_clock::now();
   const Cycles start_cycles = machine_.cycles();
@@ -340,6 +382,79 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
                              std::chrono::steady_clock::now() - wall_begin)
                              .count();
   record_iteration(rec, start_cycles, kernel_begin, kernel_end, wall_ms);
+  return out;
+}
+
+template <kernels::Semiring S>
+Engine::Output Engine::spmv_native(const Frontier& f, const S& sr,
+                                   const sparse::DenseVector* dst_old) {
+  const obs::PhaseScope phase("native.spmv");
+  const auto wall_begin = std::chrono::steady_clock::now();
+
+  IterationRecord rec;
+  rec.index = next_iteration_++;
+  rec.frontier_nnz = f.nnz();
+  rec.density = dimension() == 0 ? 0.0
+                                 : static_cast<double>(rec.frontier_nnz) /
+                                       static_cast<double>(dimension());
+
+  // Same audited decision as sim mode: features, threshold margins and
+  // counterfactual estimates are pure functions of the (identical)
+  // frontier sequence, so the decision_audit section stays byte-identical.
+  const Decision d = resolve_decision(rec.frontier_nnz);
+  rec.sw = d.sw;
+  rec.hw = d.hw;
+  rec.sw_switched = last_sw_.has_value() && *last_sw_ != d.sw;
+  last_sw_ = d.sw;
+  if (native_hw_ != d.hw) {
+    native_hw_ = d.hw;
+    rec.hw_switched = true;
+  }
+
+  Output out;
+  out.decision = d;
+  const native::KernelKind kind =
+      native_decider_.select(d.sw == SwConfig::kIP);
+  if (kind == native::KernelKind::kPull) {
+    out.dense = true;
+    // The decided hw config still selects the matching resident layout
+    // (SCS streams the vblocked ordering), so element visit order — and
+    // therefore every accumulation — matches the sim run exactly.
+    const auto& layout = d.hw == sim::HwConfig::kSCS ? ip_matrix_scs_
+                                                     : ip_matrix_sc_;
+    const kernels::DenseFrontier* df = nullptr;
+    if (f.dense) {
+      df = &stage_dense(f.df);
+    } else {
+      df = &fill_dense_staging(f.sv, sr.vector_identity());
+      rec.converted_frontier = true;
+    }
+    out.ip = native::pull_spmv(machine_.config(), native_hw_,
+                               machine_.executor(), layout, *df, sr);
+  } else {
+    out.dense = false;
+    const sparse::SparseVector* sv = nullptr;
+    if (f.dense) {
+      sv = &fill_sparse_staging(f.df);
+      rec.converted_frontier = true;
+    } else {
+      sv = &stage_sparse(f.sv);
+    }
+    out.op = native::push_spmsv(machine_.config(), native_hw_,
+                                machine_.executor(), op_matrix_, *sv, dst_old,
+                                sr);
+  }
+
+  // No cycle model in native mode: records keep the schema (lint requires
+  // the cycles key) with zeroed cycle/energy fields.
+  rec.cycles = 0;
+  rec.convert_cycles = 0;
+  rec.energy_pj = 0;
+  log_.push_back(rec);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_begin)
+                             .count();
+  record_iteration(rec, 0, 0, 0, wall_ms);
   return out;
 }
 

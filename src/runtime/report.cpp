@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "native/exec_mode.h"
+#include "native/simd.h"
 #include "obs/telemetry.h"
 #include "sim/profile.h"
 
@@ -11,8 +13,11 @@ obs::Report make_run_report(const Engine& eng, std::string tool) {
   obs::Report rep(std::move(tool));
   const sim::Machine& m = eng.machine();
 
+  const bool is_native = eng.exec_mode() == native::ExecMode::kNative;
+
   Json config = eng.system().to_json();
   Json opts = Json::object();
+  opts["exec_mode"] = std::string(native::to_string(eng.exec_mode()));
   opts["sw_reconfig"] = eng.options().sw_reconfig;
   opts["hw_reconfig"] = eng.options().hw_reconfig;
   opts["fixed_sw"] = to_string(eng.options().fixed_sw);
@@ -32,24 +37,34 @@ obs::Report make_run_report(const Engine& eng, std::string tool) {
 
   rep.set("decision_audit", eng.audit().to_json());
 
-  rep.set("stats", m.stats().to_json());
-  Json tiles = Json::array();
-  for (const sim::Stats& ts : m.tile_stats()) tiles.push_back(ts.to_json());
-  rep.set("tile_stats", std::move(tiles));
+  if (is_native) {
+    // No cycle model: the stats/tile_stats/derived/totals/memory_profile
+    // sections would all be zeros, so they are omitted entirely —
+    // cosparse-prof annotates their absence as "(native mode: no cycle
+    // model)" instead of erroring. The "native" section records what ran.
+    Json nat = eng.native_decisions().to_json();
+    nat["simd"] = std::string(native::to_string(native::simd_level()));
+    rep.set("native", std::move(nat));
+  } else {
+    rep.set("stats", m.stats().to_json());
+    Json tiles = Json::array();
+    for (const sim::Stats& ts : m.tile_stats()) tiles.push_back(ts.to_json());
+    rep.set("tile_stats", std::move(tiles));
 
-  Json derived = m.stats().derived_json();
-  derived["load_imbalance"] = m.load_imbalance();
-  rep.set("derived", std::move(derived));
+    Json derived = m.stats().derived_json();
+    derived["load_imbalance"] = m.load_imbalance();
+    rep.set("derived", std::move(derived));
 
-  Json totals = Json::object();
-  totals["cycles"] = m.cycles();
-  totals["energy_pj"] = m.energy_pj();
-  totals["watts"] = m.watts();
-  totals["iterations"] = eng.iterations().size();
-  rep.set("totals", std::move(totals));
+    Json totals = Json::object();
+    totals["cycles"] = m.cycles();
+    totals["energy_pj"] = m.energy_pj();
+    totals["watts"] = m.watts();
+    totals["iterations"] = eng.iterations().size();
+    rep.set("totals", std::move(totals));
 
-  if (m.profiler() != nullptr) {
-    rep.set("memory_profile", m.profiler()->to_json());
+    if (m.profiler() != nullptr) {
+      rep.set("memory_profile", m.profiler()->to_json());
+    }
   }
 
   if (eng.metrics() != nullptr) rep.set("metrics", eng.metrics()->to_json());

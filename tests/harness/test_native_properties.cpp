@@ -1,0 +1,198 @@
+// Seeded property harness for the native backend: ~200 generated
+// matrices spanning the generator family (uniform, power-law, R-MAT,
+// banded, slice-killed) checked against the scalar reference under
+// arithmetic and tropical semirings, with a sample of seeds additionally
+// checked for *bitwise* equality against the cycle-accurate simulator —
+// the stronger oracle that the native kernels run the same loops in the
+// same order (DESIGN.md §14).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "../kernels/reference.h"
+#include "common/digest.h"
+#include "kernels/address_map.h"
+#include "kernels/frontier.h"
+#include "kernels/ip_spmv.h"
+#include "kernels/op_spmv.h"
+#include "kernels/partition.h"
+#include "kernels/semiring.h"
+#include "native/spmv.h"
+#include "sim/machine.h"
+#include "sim/parallel.h"
+#include "sparse/generate.h"
+
+namespace cosparse {
+namespace {
+
+using kernels::DenseFrontier;
+using kernels::PlainSpmv;
+using kernels::SsspSemiring;
+using kernels::testing::reference_spmv;
+
+constexpr int kSeeds = 200;
+
+/// Same generator family as the simulator property harness
+/// (tests/harness/test_properties.cpp) so both backends face identical
+/// shapes: every fifth seed visits the same generator.
+sparse::Coo matrix_for_seed(std::uint64_t seed) {
+  const Index n = 32 + static_cast<Index>(seed * 7 % 225);  // 32..256
+  const auto nnz = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(n) * n / 4, 64 + seed * 31 % 1985);
+  switch (seed % 5) {
+    case 0:
+      return sparse::uniform_random(n, n, nnz, seed,
+                                    sparse::ValueDist::kUniformInt);
+    case 1:
+      return sparse::power_law(n, n, nnz, 2.2, seed,
+                               sparse::ValueDist::kUniform01);
+    case 2: {
+      const std::uint32_t scale = 5 + static_cast<std::uint32_t>(seed % 3);
+      const std::uint64_t cells = std::uint64_t{1} << (2 * scale);
+      return sparse::rmat(scale, std::min(nnz, cells / 4), 0.55, 0.2, 0.2,
+                          seed, sparse::ValueDist::kUniform01);
+    }
+    case 3: {
+      const Index bw = 1 + static_cast<Index>(seed % 7);
+      const std::uint64_t cap = static_cast<std::uint64_t>(n) * (2 * bw + 1) -
+                                static_cast<std::uint64_t>(bw) * (bw + 1);
+      return sparse::banded(n, n, bw, std::min<std::uint64_t>(nnz, cap / 2),
+                            seed, sparse::ValueDist::kUniformInt);
+    }
+    default:
+      return sparse::with_empty_slices(
+          sparse::uniform_random(n, n, nnz, seed,
+                                 sparse::ValueDist::kUniform01),
+          0.3, 0.3, seed);
+  }
+}
+
+double density_for_seed(std::uint64_t seed) {
+  if (seed % 16 == 9) return 0.0;  // empty frontier
+  return std::pow(10.0, -2.5 * ((seed * 13) % 100) / 100.0);  // ~3e-3..1
+}
+
+const sim::SystemConfig kSys = sim::SystemConfig::transmuter(2, 2);
+
+std::string digest_ip(const kernels::IpResult& r) {
+  Digest d;
+  d.update_u64(r.num_touched);
+  for (Index i = 0; i < r.y.dimension(); ++i) {
+    d.update_u64(r.touched[i]);
+    d.update_value(r.y[i]);
+  }
+  return d.hex();
+}
+
+std::string digest_op(const kernels::OpResult& r) {
+  Digest d;
+  d.update_u64(r.y.nnz());
+  for (const auto& e : r.y.entries()) {
+    d.update_index(e.index);
+    d.update_value(e.value);
+  }
+  return d.hex();
+}
+
+template <class S>
+void check_native_pull(const sparse::Coo& m, const sparse::SparseVector& x,
+                       const S& sr, sim::ParallelExecutor* exec,
+                       const std::string& what) {
+  const auto part =
+      kernels::IpPartitionedMatrix::build(m, kSys.num_pes(), 0, true);
+  const auto x_dense = DenseFrontier::from_sparse(x, sr.vector_identity());
+  const auto got =
+      native::pull_spmv(kSys, sim::HwConfig::kSC, exec, part, x_dense, sr);
+  const auto want = reference_spmv(m, x_dense, sr);
+  ASSERT_EQ(got.touched, want.touched) << what;
+  for (Index r = 0; r < m.rows(); ++r) {
+    if (!want.touched[r]) continue;
+    ASSERT_NEAR(got.y[r], want.y[r], 1e-9) << what << " row " << r;
+  }
+}
+
+template <class S>
+void check_native_push(const sparse::Coo& m, const sparse::SparseVector& x,
+                       const S& sr, sim::ParallelExecutor* exec,
+                       const std::string& what) {
+  const auto striped = kernels::OpStripedMatrix::build(m, kSys.num_tiles, true);
+  const auto got = native::push_spmsv(kSys, sim::HwConfig::kPC, exec, striped,
+                                      x, nullptr, sr);
+  const auto x_dense = DenseFrontier::from_sparse(x, sr.vector_identity());
+  const auto want = reference_spmv(m, x_dense, sr);
+  std::size_t want_touched = 0;
+  for (const auto t : want.touched) want_touched += t;
+  ASSERT_EQ(got.y.nnz(), want_touched) << what;
+  for (const auto& e : got.y.entries()) {
+    ASSERT_TRUE(want.touched[e.index]) << what << " row " << e.index;
+    ASSERT_NEAR(e.value, want.y[e.index], 1e-9) << what << " row " << e.index;
+  }
+}
+
+TEST(NativePropertyHarness, NativeMatchesScalarReferenceAcross200Seeds) {
+  sim::ParallelExecutor exec(2);
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const sparse::Coo m = matrix_for_seed(seed);
+    const auto x = sparse::random_sparse_vector(
+        m.cols(), density_for_seed(seed), seed ^ 0xfeedULL);
+    const std::string what = "seed " + std::to_string(seed);
+    check_native_pull(m, x, PlainSpmv{}, nullptr, what + " pull/plain");
+    check_native_push(m, x, PlainSpmv{}, nullptr, what + " push/plain");
+    check_native_pull(m, x, SsspSemiring{}, nullptr, what + " pull/sssp");
+    check_native_push(m, x, SsspSemiring{}, nullptr, what + " push/sssp");
+    // A sample of seeds re-runs under the parallel executor.
+    if (seed % 8 == 3) {
+      check_native_pull(m, x, PlainSpmv{}, &exec, what + " pull/plain/mt");
+      check_native_push(m, x, PlainSpmv{}, &exec, what + " push/plain/mt");
+    }
+  }
+}
+
+TEST(NativePropertyHarness, NativeBitIdenticalToSimOnSampledSeeds) {
+  // Every 10th seed: run the *simulator* kernels on the same inputs and
+  // require bitwise-equal outputs — not just reference-close. This is the
+  // property the engine-level CI gate relies on.
+  sim::ParallelExecutor exec(8);
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 10) {
+    const sparse::Coo m = matrix_for_seed(seed);
+    const auto x = sparse::random_sparse_vector(
+        m.cols(), density_for_seed(seed), seed ^ 0xfeedULL);
+    const std::string what = "seed " + std::to_string(seed);
+
+    const auto part =
+        kernels::IpPartitionedMatrix::build(m, kSys.num_pes(), 0, true);
+    const auto x_dense =
+        DenseFrontier::from_sparse(x, PlainSpmv{}.vector_identity());
+    sim::Machine machine(kSys, sim::HwConfig::kSC);
+    kernels::AddressMap amap(machine);
+    const std::string sim_pull = digest_ip(
+        kernels::run_inner_product(machine, amap, part, x_dense, PlainSpmv{}));
+    EXPECT_EQ(sim_pull, digest_ip(native::pull_spmv(kSys, sim::HwConfig::kSC,
+                                                    nullptr, part, x_dense,
+                                                    PlainSpmv{})))
+        << what << " pull serial";
+    EXPECT_EQ(sim_pull, digest_ip(native::pull_spmv(kSys, sim::HwConfig::kSC,
+                                                    &exec, part, x_dense,
+                                                    PlainSpmv{})))
+        << what << " pull mt";
+
+    const auto striped =
+        kernels::OpStripedMatrix::build(m, kSys.num_tiles, true);
+    sim::Machine machine_op(kSys, sim::HwConfig::kPC);
+    kernels::AddressMap amap_op(machine_op);
+    const std::string sim_push = digest_op(kernels::run_outer_product(
+        machine_op, amap_op, striped, x, nullptr, PlainSpmv{}));
+    EXPECT_EQ(sim_push,
+              digest_op(native::push_spmsv(kSys, sim::HwConfig::kPC, nullptr,
+                                           striped, x, nullptr, PlainSpmv{})))
+        << what << " push serial";
+    EXPECT_EQ(sim_push,
+              digest_op(native::push_spmsv(kSys, sim::HwConfig::kPC, &exec,
+                                           striped, x, nullptr, PlainSpmv{})))
+        << what << " push mt";
+  }
+}
+
+}  // namespace
+}  // namespace cosparse

@@ -91,6 +91,20 @@ double dram_bytes_of(const Json& doc, const std::string& prefix, bool* found) {
   return r + w;
 }
 
+/// True when the report came from a native-mode run: such reports carry no
+/// cycle/energy/memory sections by design, and summarize/diff annotate
+/// that instead of silently printing nothing. Engine reports stamp
+/// config.engine.exec_mode; bench harness reports stamp host.exec_mode.
+bool is_native_report(const Json& doc) {
+  for (const char* path : {"config.engine.exec_mode", "host.exec_mode"}) {
+    const Json* v = find_path(doc, path);
+    if (v != nullptr && v->is_string() && v->as_string() == "native") {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 double parse_regress_limit(const std::string& text) {
@@ -226,6 +240,21 @@ void summarize_report(std::ostream& os, const Json& doc,
       os << "   seed: " << seed->as_int();
     }
     os << "\n";
+  }
+  if (is_native_report(doc)) {
+    os << "(native mode: no cycle model)\n";
+    if (const Json* nat = doc.find("native");
+        nat != nullptr && nat->is_object()) {
+      bool f = false;
+      os << "native: pull_iterations="
+         << fmt_count(number_at(doc, "native.pull_iterations", &f))
+         << " push_iterations="
+         << fmt_count(number_at(doc, "native.push_iterations", &f));
+      if (const Json* simd = nat->find("simd"); simd != nullptr) {
+        os << " simd=" << simd->as_string();
+      }
+      os << "\n";
+    }
   }
 
   if (const Json* regions = find_path(doc, "memory_profile.regions");
@@ -441,7 +470,7 @@ int usage(std::ostream& os) {
      << " [--telemetry <file.jsonl>]...\n"
      << "  cosparse-prof diff <baseline.json> <candidate.json>"
      << " [--max-regress 5%]\n"
-     << "  cosparse-prof extract <report.json> [--out <file>]\n"
+     << "  cosparse-prof extract <report.json> [--functional] [--out <file>]\n"
      << "  cosparse-prof flame <profile.folded> [--out <flame.html>]\n"
      << "  cosparse-prof flamediff <baseline.folded> <candidate.folded>"
      << " [--max-regress 5%]\n";
@@ -483,11 +512,14 @@ int prof_main(int argc, const char* const* argv) {
     if (cmd == "extract") {
       std::vector<std::string> files;
       std::string out_path;
+      bool functional = false;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out") {
           COSPARSE_REQUIRE(i + 1 < argc, "--out: missing value");
           out_path = argv[++i];
+        } else if (arg == "--functional") {
+          functional = true;
         } else if (!arg.empty() && arg[0] == '-') {
           std::cerr << "cosparse-prof: unknown option " << arg << "\n";
           return 2;
@@ -496,8 +528,15 @@ int prof_main(int argc, const char* const* argv) {
         }
       }
       if (files.size() != 1) return usage(std::cerr);
+      const Json report = load_report(files[0]);
+      // --functional keeps only the mode-independent subset (results
+      // digests, normalized iterations, decision audit) so a sim report
+      // and a native report of the same run byte-compare equal.
       const std::string text =
-          obs::results_subset(load_report(files[0])).dump(1) + "\n";
+          (functional ? obs::functional_subset(report)
+                      : obs::results_subset(report))
+              .dump(1) +
+          "\n";
       if (out_path.empty()) {
         std::cout << text;
       } else {
@@ -526,8 +565,14 @@ int prof_main(int argc, const char* const* argv) {
         }
       }
       if (files.size() != 2) return usage(std::cerr);
-      const DiffResult result =
-          diff_reports(load_report(files[0]), load_report(files[1]), opts);
+      const Json baseline = load_report(files[0]);
+      const Json candidate = load_report(files[1]);
+      if (is_native_report(baseline) || is_native_report(candidate)) {
+        // Cycle/miss gates need the simulator's counters; a native report
+        // simply has none, so the comparable subset shrinks accordingly.
+        std::cout << "(native mode: no cycle model)\n";
+      }
+      const DiffResult result = diff_reports(baseline, candidate, opts);
       print_diff(std::cout, result, opts);
       return result.regressed ? 1 : 0;
     }

@@ -100,6 +100,19 @@ void render_metrics(std::ostream& os, const Json& snap, const Json* prev) {
 }
 
 void render_tiles(std::ostream& os, const Json& snap, int bar_width) {
+  // Native-mode streams (header exec_mode=native) carry no tile cycle
+  // model; suppress the busy-bar panel and say why instead of rendering
+  // an eternally empty one. The exec_mode header field itself shows in
+  // the header line like any other field.
+  if (const Json* header = snap.find("header");
+      header != nullptr && header->is_object()) {
+    if (const Json* mode = header->find("exec_mode");
+        mode != nullptr && mode->is_string() &&
+        mode->as_string() == "native") {
+      os << "tiles: (native mode: no tile busy bars)\n";
+      return;
+    }
+  }
   const Json* extra = snap.find("extra");
   if (extra == nullptr || !extra->is_object()) return;
   const Json* tiles = extra->find("tile_busy_cycles");
