@@ -87,7 +87,7 @@ void BM_SimCacheAccessPath(benchmark::State& state) {
   // Throughput of the simulator's hot path: one PE streaming reads.
   const auto cfg = sim::SystemConfig::transmuter(2, 8);
   sim::Machine machine(cfg, sim::HwConfig::kSC);
-  const Addr base = machine.alloc(1 << 22, "stream");
+  const Addr base = machine.alloc(1 << 22, "bench.stream");
   Addr a = base;
   for (auto _ : state) {
     machine.mem_read(0, a, 8);

@@ -1,0 +1,240 @@
+#include "analyze/callgraph.h"
+
+#include <set>
+
+namespace cosparse::analyze {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",      "for",        "while",    "switch",        "return",
+      "sizeof",  "alignof",    "alignas",  "catch",         "static_assert",
+      "decltype", "noexcept",  "typeid",   "constexpr",     "defined",
+      "throw",   "co_return",  "co_await", "co_yield",      "requires",
+      // Builtin type names: `int(x)` / `new int(x)` are conversions and
+      // placement constructions, not calls.
+      "void",    "bool",       "char",     "short",         "int",
+      "long",    "float",      "double",   "unsigned",      "signed",
+      "auto"};
+  return kw;
+}
+
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+bool is_punct(const std::vector<Token>& t, std::size_t i, const char* p) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == p;
+}
+
+/// Index of the `)` matching the `(` at i, or kNpos.
+std::size_t match_paren(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == "(") ++depth;
+    if (t[k].text == ")" && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+std::size_t match_brace(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == "{") ++depth;
+    if (t[k].text == "}" && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+/// From the `)` closing a parameter list, finds the `{` opening the
+/// function body — skipping cv/ref/noexcept/override/final, a trailing
+/// return type, and a constructor initializer list (whose
+/// brace-initializers are recognized by the `,` that follows them).
+/// Returns kNpos when the tokens cannot be a definition.
+std::size_t find_body_brace(const std::vector<Token>& t, std::size_t rparen) {
+  std::size_t k = rparen + 1;
+  bool in_trailing_return = false;
+  while (k < t.size()) {
+    const Token& tok = t[k];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") return k;
+      if (tok.text == ";" || tok.text == "=") return kNpos;
+      if (tok.text == ":") {
+        // Constructor initializer list: scan for the body `{` at
+        // paren depth 0; a `{...}` followed by `,` or `{` is a
+        // brace-initializer, the last one precedes the body.
+        int pdepth = 0;
+        for (std::size_t m = k + 1; m < t.size(); ++m) {
+          if (t[m].kind != TokKind::kPunct) continue;
+          if (t[m].text == "(") ++pdepth;
+          if (t[m].text == ")") --pdepth;
+          if (t[m].text == ";") return kNpos;
+          if (t[m].text == "{" && pdepth == 0) {
+            const std::size_t close = match_brace(t, m);
+            if (close == kNpos) return kNpos;
+            if (is_punct(t, close + 1, ",")) {
+              m = close;  // member{init}, — keep scanning
+              continue;
+            }
+            if (is_punct(t, close + 1, "{")) return close + 1;
+            return m;  // the body itself
+          }
+        }
+        return kNpos;
+      }
+      if (tok.text == "->") {
+        in_trailing_return = true;
+        ++k;
+        continue;
+      }
+      if (tok.text == "&" || tok.text == "*" || tok.text == "::" ||
+          tok.text == "," || tok.text == "<" || tok.text == ">") {
+        ++k;
+        continue;
+      }
+      if (tok.text == "(") {  // noexcept(...), attribute-ish
+        const std::size_t close = match_paren(t, k);
+        if (close == kNpos) return kNpos;
+        k = close + 1;
+        continue;
+      }
+      return kNpos;
+    }
+    // Identifiers: cv/ref qualifiers, noexcept, override/final, or the
+    // tokens of a trailing return type.
+    if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "const" || tok.text == "noexcept" ||
+          tok.text == "override" || tok.text == "final" ||
+          tok.text == "mutable" || tok.text == "volatile" ||
+          in_trailing_return) {
+        ++k;
+        continue;
+      }
+      return kNpos;
+    }
+    return kNpos;
+  }
+  return kNpos;
+}
+
+/// Walks a `a::b::c` chain backwards from the name at `idx`; returns the
+/// index of the chain's first segment and fills `qualified`.
+std::size_t qualify(const std::vector<Token>& t, std::size_t idx,
+                    std::string& qualified) {
+  std::size_t first = idx;
+  while (first >= 2 && is_punct(t, first - 1, "::") && is_ident(t, first - 2)) {
+    first -= 2;
+  }
+  qualified.clear();
+  for (std::size_t k = first; k <= idx; k += 2) {
+    if (!qualified.empty()) qualified += "::";
+    qualified += t[k].text;
+  }
+  return first;
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const std::vector<const SourceFile*>& files) {
+  CallGraph g;
+  std::set<std::string> root_set;
+  for (const SourceFile* file : files) {
+    const std::vector<Token>& t = file->tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& name = t[i].text;
+
+      // ---- handler registration sites ----
+      if (name == "signal" && is_punct(t, i + 1, "(")) {
+        const std::size_t close = match_paren(t, i + 1);
+        if (close != kNpos) {
+          // Second top-level argument: the handler expression.
+          int depth = 0;
+          std::size_t arg = 0;
+          std::string last_ident;
+          for (std::size_t k = i + 2; k < close; ++k) {
+            if (t[k].kind == TokKind::kPunct) {
+              if (t[k].text == "(") ++depth;
+              if (t[k].text == ")") --depth;
+              if (t[k].text == "," && depth == 0) {
+                ++arg;
+                last_ident.clear();
+                continue;
+              }
+            }
+            if (arg == 1 && t[k].kind == TokKind::kIdent)
+              last_ident = t[k].text;
+          }
+          if (!last_ident.empty() && last_ident.rfind("SIG_", 0) != 0)
+            root_set.insert(last_ident);
+        }
+      }
+      if ((name == "sa_handler" || name == "sa_sigaction") &&
+          is_punct(t, i + 1, "=")) {
+        std::size_t k = i + 2;
+        if (is_punct(t, k, "&")) ++k;
+        if (is_ident(t, k) && t[k].text.rfind("SIG_", 0) != 0)
+          root_set.insert(t[k].text);
+      }
+
+      // ---- function definitions ----
+      if (control_keywords().count(name) > 0) continue;
+      if (!is_punct(t, i + 1, "(")) continue;
+      const std::size_t rparen = match_paren(t, i + 1);
+      if (rparen == kNpos) continue;
+      const std::size_t lbrace = find_body_brace(t, rparen);
+      if (lbrace == kNpos) continue;
+      const std::size_t rbrace = match_brace(t, lbrace);
+      if (rbrace == kNpos) continue;
+      FunctionDef def;
+      def.name = name;
+      qualify(t, i, def.qualified);
+      def.file = file;
+      def.line = t[i].line;
+      def.body_begin = lbrace;
+      def.body_end = rbrace;
+      g.functions_.push_back(std::move(def));
+      // Keep scanning *inside* the body too: local lambdas and nested
+      // registration sites still get seen. (Nested defs found there are
+      // extra entries, which is harmless.)
+    }
+  }
+  g.roots_.assign(root_set.begin(), root_set.end());
+  return g;
+}
+
+std::vector<CallSite> CallGraph::calls_in(const FunctionDef& fn) const {
+  std::vector<CallSite> out;
+  const std::vector<Token>& t = fn.file->tokens;
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& name = t[i].text;
+    if (name == "new" || name == "delete") {
+      out.push_back({"operator " + name, name, false, t[i].line});
+      continue;
+    }
+    if (control_keywords().count(name) > 0) continue;
+    if (!is_punct(t, i + 1, "(")) continue;
+    CallSite c;
+    c.name = name;
+    const std::size_t first = qualify(t, i, c.qualified);
+    c.member = first >= 1 && (is_punct(t, first - 1, ".") ||
+                              is_punct(t, first - 1, "->"));
+    c.line = t[i].line;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+const FunctionDef* CallGraph::find(const std::string& name) const {
+  for (const FunctionDef& f : functions_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace cosparse::analyze

@@ -1,0 +1,69 @@
+// Conservative intra-project call graph for the signal-safety pass.
+//
+// Token-level function-definition and call-site detection: a definition
+// is an identifier followed by a balanced parameter list, an optional
+// suffix (cv/ref/noexcept/trailing return/ctor-init list) and a `{`
+// body; a call site is an identifier directly followed by `(` inside a
+// body (plus `new`/`delete`, which allocate without looking like
+// calls). The heuristic is deliberately biased toward over-detection:
+// a token that might be a call is treated as one, so reachability from
+// a signal handler over-approximates the true call graph — the right
+// direction for a safety gate. Handler roots are found where the code
+// registers them: `signal(SIG..., fn)` second arguments and
+// `sa_handler`/`sa_sigaction` assignments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/source.h"
+
+namespace cosparse::analyze {
+
+struct FunctionDef {
+  std::string name;        ///< unqualified name ("spmv")
+  std::string qualified;   ///< as written at the definition ("Engine::spmv")
+  const SourceFile* file = nullptr;
+  int line = 0;
+  std::size_t body_begin = 0;  ///< token index of the `{`
+  std::size_t body_end = 0;    ///< token index of the matching `}`
+};
+
+struct CallSite {
+  std::string name;       ///< last segment ("fma")
+  std::string qualified;  ///< `::`-joined chain as written ("std::fma")
+  bool member = false;    ///< preceded by `.` or `->`
+  int line = 0;
+};
+
+class CallGraph {
+ public:
+  /// Scans every file once; defs keep pointers into `files`, which must
+  /// outlive the graph.
+  [[nodiscard]] static CallGraph build(
+      const std::vector<const SourceFile*>& files);
+
+  [[nodiscard]] const std::vector<FunctionDef>& functions() const {
+    return functions_;
+  }
+  /// All call sites inside one definition's body (nested call
+  /// arguments included).
+  [[nodiscard]] std::vector<CallSite> calls_in(const FunctionDef& fn) const;
+
+  /// Unqualified names registered as signal handlers anywhere in the
+  /// scanned files.
+  [[nodiscard]] const std::vector<std::string>& handler_roots() const {
+    return roots_;
+  }
+
+  /// First definition whose unqualified name matches; nullptr if the
+  /// project defines no such function.
+  [[nodiscard]] const FunctionDef* find(const std::string& name) const;
+
+ private:
+  std::vector<FunctionDef> functions_;
+  std::vector<std::string> roots_;
+};
+
+}  // namespace cosparse::analyze

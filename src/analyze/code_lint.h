@@ -1,0 +1,24 @@
+// Driver for `cosparse-lint code`: walks the source tree, scans every
+// C++ file once, feeds the right directory subsets to the four passes
+// (passes.h) and returns one verify::LintReport for the whole repo.
+#pragma once
+
+#include <string>
+
+#include "verify/findings.h"
+
+namespace cosparse::analyze {
+
+struct CodeLintOptions {
+  /// Source root to scan; findings use root-relative paths.
+  std::string root;
+  /// Path to compile_commands.json. Empty → fp_exactness emits a
+  /// "code.compile-db-missing" warning and skips the flag checks.
+  std::string compile_db_path;
+};
+
+/// Runs the four code passes. Unreadable sources or a malformed compile
+/// db become findings, not exceptions; only a nonexistent root throws.
+[[nodiscard]] verify::LintReport lint_code(const CodeLintOptions& opts);
+
+}  // namespace cosparse::analyze

@@ -1,0 +1,111 @@
+#include "analyze/compile_db.h"
+
+#include <sstream>
+
+namespace cosparse::analyze {
+
+namespace {
+
+using verify::Finding;
+using verify::Location;
+using verify::Severity;
+
+/// Collapses "." and ".." components; keeps the path absolute/relative
+/// as given. Pure string normalization (no filesystem access) so the
+/// database can be linted on a machine that never built it.
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  const bool absolute = !path.empty() && path[0] == '/';
+  std::stringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else {
+      parts.push_back(part);
+    }
+  }
+  std::string out = absolute ? "/" : "";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+CompileDb CompileDb::parse(const Json& doc,
+                           std::vector<verify::Finding>* findings) {
+  CompileDb db;
+  const auto emit = [&](const std::string& id, const std::string& msg,
+                        const std::string& where) {
+    if (findings != nullptr) {
+      findings->push_back(Finding{"code", id, Severity::kError, msg,
+                                  Location::document(where)});
+    }
+  };
+  if (!doc.is_array()) {
+    emit("code.compile-db-malformed",
+         "compile_commands.json must be a JSON array of compile commands",
+         "(root)");
+    return db;
+  }
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const Json& entry = doc.at(i);
+    const std::string where = "$[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      emit("code.compile-db-malformed", "compile command entry is not an object",
+           where);
+      continue;
+    }
+    CompileCommand cc;
+    if (const Json* d = entry.find("directory"); d != nullptr && d->is_string())
+      cc.directory = d->as_string();
+    const Json* f = entry.find("file");
+    if (f == nullptr || !f->is_string()) {
+      emit("code.compile-db-malformed", "compile command entry has no \"file\"",
+           where);
+      continue;
+    }
+    cc.file = f->as_string();
+    if (const Json* c = entry.find("command");
+        c != nullptr && c->is_string()) {
+      cc.command = c->as_string();
+    } else if (const Json* args = entry.find("arguments");
+               args != nullptr && args->is_array()) {
+      // Clang-style databases split the command into an argv array.
+      std::string joined;
+      for (const Json& a : args->items()) {
+        if (!joined.empty()) joined += ' ';
+        joined += a.is_string() ? a.as_string() : a.dump();
+      }
+      cc.command = joined;
+    } else {
+      emit("code.compile-db-malformed",
+           "compile command entry has neither \"command\" nor \"arguments\"",
+           where);
+      continue;
+    }
+    db.commands_.push_back(std::move(cc));
+  }
+  return db;
+}
+
+bool CompileDb::has_flag(const CompileCommand& cc, const std::string& flag) {
+  std::stringstream ss(cc.command);
+  std::string tok;
+  while (ss >> tok) {
+    if (tok == flag) return true;
+  }
+  return false;
+}
+
+std::string CompileDb::resolved_file(const CompileCommand& cc) {
+  if (!cc.file.empty() && cc.file[0] == '/') return normalize(cc.file);
+  if (cc.directory.empty()) return normalize(cc.file);
+  return normalize(cc.directory + "/" + cc.file);
+}
+
+}  // namespace cosparse::analyze

@@ -1,0 +1,51 @@
+// compile_commands.json reader for the FP-exactness pass.
+//
+// A compilation database (CMAKE_EXPORT_COMPILE_COMMANDS=ON) records the
+// exact command line each translation unit is built with; the
+// fp_exactness pass uses it to prove kernel/SIMD TUs carry
+// -ffp-contract=off and never a value-changing fast-math flag. Only the
+// fields the passes need are kept: directory, file, and the flattened
+// command string.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "verify/findings.h"
+
+namespace cosparse::analyze {
+
+struct CompileCommand {
+  std::string directory;  ///< working directory of the compile
+  std::string file;       ///< source path as recorded (may be relative)
+  std::string command;    ///< full command line, space-joined
+};
+
+class CompileDb {
+ public:
+  /// Parses a compile_commands.json document. Malformed entries become
+  /// findings (pass "code") instead of exceptions so the driver can keep
+  /// linting sources even with a broken database.
+  [[nodiscard]] static CompileDb parse(const Json& doc,
+                                       std::vector<verify::Finding>* findings);
+
+  [[nodiscard]] const std::vector<CompileCommand>& commands() const {
+    return commands_;
+  }
+  [[nodiscard]] bool empty() const { return commands_.empty(); }
+
+  /// Exact whitespace-delimited token match against the command line —
+  /// "-ffp-contract=off" does not match "-ffp-contract=fast".
+  [[nodiscard]] static bool has_flag(const CompileCommand& cc,
+                                     const std::string& flag);
+
+  /// The command's source path resolved against its directory and
+  /// normalized (".." and "." collapsed), for root-relative matching.
+  [[nodiscard]] static std::string resolved_file(const CompileCommand& cc);
+
+ private:
+  std::vector<CompileCommand> commands_;
+};
+
+}  // namespace cosparse::analyze

@@ -1,0 +1,193 @@
+// Pass 3: determinism hazards in result-producing paths.
+//
+// The framework's results must be bit-identical across sim/native
+// modes, thread counts and SIMD levels, so anything order-, address- or
+// time-dependent in src/sim, src/runtime, src/native or src/graph is a
+// hazard: unordered-container iteration (hash order varies with
+// libstdc++ version and — for pointer keys — with malloc addresses,
+// the exact class of bug PR 4's aliasing hazard belonged to),
+// rand()/std::random_device (unseeded entropy), wall-clock reads, and
+// pointer-to-integer casts (host addresses leaking into computed
+// values). Telemetry legitimately reads wall clocks; those sites carry
+// `// cosparse-lint: allow(determinism)` and surface as info findings.
+#include <set>
+#include <string>
+
+#include "analyze/pass_util.h"
+#include "analyze/passes.h"
+
+namespace cosparse::analyze {
+
+namespace {
+
+constexpr const char* kPass = "determinism";
+
+using verify::Severity;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_punct(const std::vector<Token>& t, std::size_t i, const char* p) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == p;
+}
+bool called(const std::vector<Token>& t, std::size_t i) {
+  return is_punct(t, i + 1, "(");
+}
+
+std::size_t match_paren(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == "(") ++depth;
+    if (t[k].text == ")" && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+std::size_t match_angle(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == "<") ++depth;
+    if (t[k].text == ">" && --depth == 0) return k;
+    if (t[k].text == ";") return kNpos;  // not a template argument list
+  }
+  return kNpos;
+}
+
+const std::set<std::string>& unordered_types() {
+  static const std::set<std::string> u = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return u;
+}
+
+const std::set<std::string>& rand_functions() {
+  static const std::set<std::string> r = {"rand", "srand", "drand48",
+                                          "lrand48", "mrand48", "random"};
+  return r;
+}
+
+const std::set<std::string>& clock_functions() {
+  static const std::set<std::string> c = {
+      "time",   "clock",     "gettimeofday", "clock_gettime",
+      "localtime", "gmtime", "mktime",       "now"};
+  return c;
+}
+
+const std::set<std::string>& int_types() {
+  static const std::set<std::string> ints = {
+      "uintptr_t", "intptr_t", "size_t",   "ptrdiff_t", "uintmax_t",
+      "intmax_t",  "uint64_t", "int64_t",  "uint32_t",  "int32_t",
+      "uint16_t",  "int16_t",  "uint8_t",  "int8_t",    "long",
+      "int",       "short",    "unsigned"};
+  return ints;
+}
+
+}  // namespace
+
+std::vector<verify::Finding> check_determinism(
+    const std::vector<const SourceFile*>& files) {
+  std::vector<verify::Finding> out;
+  for (const SourceFile* file : files) {
+    const std::vector<Token>& t = file->tokens;
+
+    // Names declared in this file with an unordered container type
+    // (locals and members alike — the scanner does not resolve scope,
+    // which only over-approximates).
+    std::set<std::string> unordered_vars;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || unordered_types().count(t[i].text) == 0)
+        continue;
+      std::size_t k = i + 1;
+      if (is_punct(t, k, "<")) {
+        const std::size_t close = match_angle(t, k);
+        if (close == kNpos) continue;
+        k = close + 1;
+      }
+      while (is_punct(t, k, "&") || is_punct(t, k, "*") ||
+             (k < t.size() && t[k].kind == TokKind::kIdent &&
+              t[k].text == "const")) {
+        ++k;
+      }
+      if (k < t.size() && t[k].kind == TokKind::kIdent)
+        unordered_vars.insert(t[k].text);
+    }
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& s = t[i].text;
+
+      if (rand_functions().count(s) > 0 && called(t, i)) {
+        detail::emit(out, *file, t[i].line, kPass, "determinism.rand",
+                     Severity::kError,
+                     "'" + s +
+                         "()' draws from process-global unseeded state; use "
+                         "common/Rng(seed, stream)");
+      } else if (s == "random_device") {
+        detail::emit(out, *file, t[i].line, kPass,
+                     "determinism.random-device", Severity::kError,
+                     "std::random_device is nondeterministic entropy; use "
+                     "common/Rng(seed, stream)");
+      } else if (clock_functions().count(s) > 0 && called(t, i)) {
+        detail::emit(out, *file, t[i].line, kPass, "determinism.wallclock",
+                     Severity::kError,
+                     "wall-clock read '" + s +
+                         "()' in a result-producing path; clocks may only "
+                         "feed telemetry (annotate with allow(determinism))");
+      } else if (s == "for" && is_punct(t, i + 1, "(")) {
+        const std::size_t close = match_paren(t, i + 1);
+        if (close == kNpos) continue;
+        // Range-for over an unordered container: `:` at top depth, then
+        // any declared unordered name before `)`.
+        int depth = 0;
+        bool after_colon = false;
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (t[k].kind == TokKind::kPunct) {
+            if (t[k].text == "(") ++depth;
+            if (t[k].text == ")") --depth;
+            if (t[k].text == ":" && depth == 0) after_colon = true;
+          }
+          if (after_colon && t[k].kind == TokKind::kIdent &&
+              unordered_vars.count(t[k].text) > 0) {
+            detail::emit(out, *file, t[k].line, kPass,
+                         "determinism.unordered-iteration", Severity::kError,
+                         "iteration over unordered container '" + t[k].text +
+                             "' has hash-order-dependent element order; use "
+                             "an ordered container or sort first");
+            break;
+          }
+        }
+      } else if ((s == "begin" || s == "cbegin") && called(t, i) && i >= 2 &&
+                 (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->")) &&
+                 t[i - 2].kind == TokKind::kIdent &&
+                 unordered_vars.count(t[i - 2].text) > 0) {
+        detail::emit(out, *file, t[i].line, kPass,
+                     "determinism.unordered-iteration", Severity::kError,
+                     "iterator over unordered container '" + t[i - 2].text +
+                         "' has hash-order-dependent element order");
+      } else if (s == "reinterpret_cast" && is_punct(t, i + 1, "<")) {
+        const std::size_t close = match_angle(t, i + 1);
+        if (close == kNpos) continue;
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (t[k].kind == TokKind::kIdent && int_types().count(t[k].text) > 0) {
+            detail::emit(out, *file, t[k].line, kPass,
+                         "determinism.pointer-to-int", Severity::kError,
+                         "reinterpret_cast of a pointer to '" + t[k].text +
+                             "' leaks a host address into computed data — "
+                             "the PR 4 aliasing-hazard class");
+            break;
+          }
+        }
+      } else if ((s == "uintptr_t" || s == "intptr_t") && i >= 1 &&
+                 is_punct(t, i - 1, "(") && is_punct(t, i + 1, ")")) {
+        detail::emit(out, *file, t[i].line, kPass,
+                     "determinism.pointer-to-int", Severity::kError,
+                     "C-style cast to " + s +
+                         " leaks a host address into computed data");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cosparse::analyze

@@ -1,0 +1,108 @@
+// Pass 2: floating-point exactness.
+//
+// The cross-mode bit-identity argument (DESIGN.md §14) requires every
+// kernel to perform the same FP operations in the same order in sim and
+// native mode, at every SIMD level. Two source-level hazards break
+// that: fused multiply-adds (one rounding instead of two) and
+// horizontal/reassociating reductions (different summation order). Both
+// are token-visible — std::fma calls and *fmadd*/*hadd* intrinsic
+// names — so the pass flags them in src/kernels/ and src/native/
+// sources. The compiler can introduce the same fusion silently, so the
+// pass additionally proves from compile_commands.json that every kernel
+// TU carries -ffp-contract=off and never a value-changing fast-math
+// flag.
+#include <string>
+
+#include "analyze/pass_util.h"
+#include "analyze/passes.h"
+
+namespace cosparse::analyze {
+
+namespace {
+
+constexpr const char* kPass = "fp_exactness";
+
+using verify::Finding;
+using verify::Location;
+using verify::Severity;
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Root-relative form of an absolute-or-relative compile-db path, or
+/// empty when the path is outside `root`.
+std::string relative_to(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::string prefix = root;
+  if (prefix.back() != '/') prefix += '/';
+  if (path.rfind(prefix, 0) == 0) return path.substr(prefix.size());
+  if (path.rfind('/', 0) != 0) return path;  // already relative
+  return "";
+}
+
+bool is_kernel_tu(const std::string& rel) {
+  return rel.rfind("src/kernels/", 0) == 0 || rel.rfind("src/native/", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<verify::Finding> check_fp_exactness(
+    const std::vector<const SourceFile*>& files, const CompileDb& db,
+    const std::string& root) {
+  std::vector<Finding> out;
+
+  for (const SourceFile* file : files) {
+    for (const Token& t : file->tokens) {
+      if (t.kind != TokKind::kIdent) continue;
+      const std::string& s = t.text;
+      if (s == "fma" || s == "fmaf" || s == "fmal" || s == "__builtin_fma" ||
+          s == "__builtin_fmaf" || s == "__builtin_fmal") {
+        detail::emit(out, *file, t.line, kPass, "fp.fma-call",
+                     Severity::kError,
+                     "'" + s +
+                         "' fuses multiply and add into one rounding; kernels "
+                         "must round each operation (DESIGN.md §14)");
+      } else if (contains(s, "fmadd") || contains(s, "fmsub") ||
+                 contains(s, "fnmadd") || contains(s, "fnmsub")) {
+        detail::emit(out, *file, t.line, kPass, "fp.fma-intrinsic",
+                     Severity::kError,
+                     "FMA intrinsic '" + s +
+                         "' changes rounding vs the scalar kernel; use "
+                         "separate mul/add (DESIGN.md §14)");
+      } else if (contains(s, "hadd") || contains(s, "reduce_add")) {
+        detail::emit(out, *file, t.line, kPass, "fp.horizontal-add",
+                     Severity::kError,
+                     "horizontal-add intrinsic '" + s +
+                         "' reassociates the reduction; accumulate in scalar "
+                         "order (DESIGN.md §14)");
+      }
+    }
+  }
+
+  for (const CompileCommand& cc : db.commands()) {
+    const std::string rel = relative_to(CompileDb::resolved_file(cc), root);
+    if (rel.empty() || !is_kernel_tu(rel)) continue;
+    if (!CompileDb::has_flag(cc, "-ffp-contract=off")) {
+      out.push_back(Finding{
+          kPass, "fp.contract-missing", Severity::kError,
+          "kernel TU compiles without -ffp-contract=off; the compiler may "
+          "fuse multiply-adds and change results between builds",
+          Location::source(rel, 0)});
+    }
+    for (const char* bad :
+         {"-ffast-math", "-funsafe-math-optimizations", "-Ofast",
+          "-ffp-contract=fast", "-fassociative-math"}) {
+      if (CompileDb::has_flag(cc, bad)) {
+        out.push_back(Finding{
+            kPass, "fp.fast-math", Severity::kError,
+            std::string("kernel TU compiles with value-changing flag '") +
+                bad + "'",
+            Location::source(rel, 0)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cosparse::analyze

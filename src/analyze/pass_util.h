@@ -1,0 +1,32 @@
+// Shared finding-emission helper for the code passes: routes every
+// would-be finding through the `// cosparse-lint: allow(<pass>)` escape
+// hatch, downgrading waived defects to visible "<prefix>.allowed" info
+// findings instead of dropping them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/source.h"
+#include "verify/findings.h"
+
+namespace cosparse::analyze::detail {
+
+inline void emit(std::vector<verify::Finding>& out, const SourceFile& file,
+                 int line, const std::string& pass, std::string id,
+                 verify::Severity severity, std::string message) {
+  if (file.allowed(pass, line)) {
+    const std::size_t dot = id.find('.');
+    std::string allowed_id = id.substr(0, dot) + ".allowed";
+    out.push_back(verify::Finding{
+        pass, std::move(allowed_id), verify::Severity::kInfo,
+        "waived by `cosparse-lint: allow(" + pass + ")`: " + message,
+        verify::Location::source(file.path, line)});
+    return;
+  }
+  out.push_back(verify::Finding{pass, std::move(id), severity,
+                                std::move(message),
+                                verify::Location::source(file.path, line)});
+}
+
+}  // namespace cosparse::analyze::detail

@@ -1,0 +1,51 @@
+// The four source-level code passes behind `cosparse-lint code`.
+//
+// Each pass takes already-scanned files (the driver in code_lint.cpp
+// decides which directories feed which pass) and returns
+// verify::Findings anchored to "source" locations ("file:line"). All
+// passes honor the `// cosparse-lint: allow(<pass>)` escape hatch: a
+// waived defect is downgraded to an info finding with id
+// "<pass-prefix>.allowed" so suppressions stay visible in reports.
+//
+// Pass semantics (DESIGN.md §15):
+//   signal_safety  — conservative call-graph walk from every registered
+//                    signal handler; flags calls outside the
+//                    async-signal-safe allowlist plus allocating types,
+//                    iostream use and new/delete in reachable bodies.
+//   fp_exactness   — fma/horizontal-add tokens in kernel/SIMD sources;
+//                    kernel TUs must compile with -ffp-contract=off and
+//                    never -ffast-math (compile_commands.json evidence).
+//   determinism    — rand()/std::random_device, wall-clock reads,
+//                    unordered-container iteration and pointer-to-
+//                    integer casts in result-producing directories.
+//   phase_hygiene  — every PhaseScope/intern_phase_tag tag literal and
+//                    AddressMap::of / Machine::alloc label literal must
+//                    be in the canonical registries (registry.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/compile_db.h"
+#include "analyze/source.h"
+#include "verify/findings.h"
+
+namespace cosparse::analyze {
+
+[[nodiscard]] std::vector<verify::Finding> check_signal_safety(
+    const std::vector<const SourceFile*>& files);
+
+/// `root` is the source root the compile-db file paths are matched
+/// against (kernel TUs live under <root>/src/kernels and
+/// <root>/src/native).
+[[nodiscard]] std::vector<verify::Finding> check_fp_exactness(
+    const std::vector<const SourceFile*>& files, const CompileDb& db,
+    const std::string& root);
+
+[[nodiscard]] std::vector<verify::Finding> check_determinism(
+    const std::vector<const SourceFile*>& files);
+
+[[nodiscard]] std::vector<verify::Finding> check_phase_hygiene(
+    const std::vector<const SourceFile*>& files);
+
+}  // namespace cosparse::analyze

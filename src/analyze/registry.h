@@ -1,0 +1,36 @@
+// Canonical phase-tag and allocation-label registries.
+//
+// Flamegraphs (obs::PhaseScope tags), telemetry histograms keyed by
+// phase, and the memory profiler's region buckets (AddressMap::of /
+// Machine::alloc labels) are all name-addressed: a typo'd or ad-hoc
+// string silently forks the namespace and every downstream diff/gate
+// stops seeing that slice. These lists are the single source of truth;
+// the phase_hygiene pass rejects any string literal at a
+// PhaseScope/intern_phase_tag/of/alloc call site that is not registered
+// here. Adding a genuinely new phase or region means adding it here (and
+// documenting it in DESIGN.md §13/§9) in the same change — which is the
+// point: the namespace only grows deliberately.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace cosparse::analyze {
+
+/// Exact registered phase tags (obs::PhaseScope / intern_phase_tag).
+[[nodiscard]] const std::vector<std::string_view>& canonical_phase_tags();
+
+/// Registered dynamic-tag families: a tag is also canonical when it
+/// starts with one of these prefixes ("graph." covers the per-algorithm
+/// tags built at run time).
+[[nodiscard]] const std::vector<std::string_view>& canonical_phase_prefixes();
+
+[[nodiscard]] bool is_canonical_phase_tag(std::string_view tag);
+
+/// Exact registered allocation-region labels (AddressMap::of /
+/// sim::Machine::alloc).
+[[nodiscard]] const std::vector<std::string_view>& canonical_region_labels();
+
+[[nodiscard]] bool is_canonical_region_label(std::string_view label);
+
+}  // namespace cosparse::analyze

@@ -1,0 +1,165 @@
+// Pass 1: signal safety.
+//
+// Roots are the functions the scanned sources actually register as
+// signal handlers (signal() second arguments, sa_handler/sa_sigaction
+// assignments). From each root with an in-project definition the pass
+// walks the conservative call graph; inside every reachable body it
+// flags (a) calls outside a small async-signal-safe allowlist, (b)
+// new/delete, (c) allocating standard-library types (std::string,
+// containers, stringstreams — their constructors allocate), (d)
+// iostream objects and (e) locking primitives. The allowlist is the
+// POSIX async-signal-safe set plus std::atomic member operations,
+// signal fences, and backtrace() — which glibc makes malloc-free after
+// the priming call SampleProfiler::start() performs (DESIGN.md §13).
+#include <set>
+#include <string>
+
+#include "analyze/callgraph.h"
+#include "analyze/pass_util.h"
+#include "analyze/passes.h"
+
+namespace cosparse::analyze {
+
+namespace {
+
+constexpr const char* kPass = "signal_safety";
+
+using verify::Finding;
+using verify::Severity;
+
+const std::set<std::string>& allowlist() {
+  static const std::set<std::string> safe = {
+      // std::atomic members and fences — lock-free on every supported
+      // target; the handler's whole protocol is built from these.
+      "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or", "fetch_xor", "compare_exchange_weak",
+      "compare_exchange_strong", "test_and_set", "clear",
+      "atomic_signal_fence", "atomic_thread_fence",
+      // POSIX async-signal-safe functions (2017 list, the subset a
+      // profiler handler could plausibly reach).
+      "_exit", "abort", "raise", "kill", "signal", "sigaction",
+      "sigemptyset", "sigfillset", "sigaddset", "sigdelset", "sigismember",
+      "read", "write", "close", "fsync", "getpid", "time", "clock_gettime",
+      "sem_post",
+      // Non-allocating accessors on preexisting objects.
+      "c_str", "data", "size", "empty",
+      // glibc backtrace is malloc-free after the priming call issued
+      // outside signal context (SampleProfiler::start, DESIGN.md §13).
+      "backtrace",
+  };
+  return safe;
+}
+
+const std::set<std::string>& allocating_types() {
+  static const std::set<std::string> types = {
+      "string",        "vector",       "map",           "set",
+      "deque",         "list",         "multimap",      "multiset",
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "stringstream", "ostringstream",
+      "istringstream", "function",
+  };
+  return types;
+}
+
+const std::set<std::string>& iostream_objects() {
+  static const std::set<std::string> objs = {"cout", "cerr", "clog", "cin"};
+  return objs;
+}
+
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> locks = {
+      "mutex", "recursive_mutex", "shared_mutex", "lock_guard",
+      "unique_lock", "scoped_lock", "shared_lock", "condition_variable",
+  };
+  return locks;
+}
+
+struct Walker {
+  const CallGraph& graph;
+  std::vector<Finding>& out;
+  std::set<const FunctionDef*> visited;
+
+  void walk(const FunctionDef& fn, const std::string& path, int depth) {
+    if (depth > 64 || visited.count(&fn) > 0) return;
+    visited.insert(&fn);
+    const SourceFile& file = *fn.file;
+
+    // Token-level hazards the call detector cannot see: allocating
+    // type constructions, iostream operator<< chains, lock objects.
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = file.tokens[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (allocating_types().count(t.text) > 0) {
+        detail::emit(out, file, t.line, kPass, "signal.unsafe-type",
+                     Severity::kError,
+                     "allocating type 'std::" + t.text +
+                         "' in signal-handler-reachable code (" + path + ")");
+      } else if (iostream_objects().count(t.text) > 0) {
+        detail::emit(out, file, t.line, kPass, "signal.unsafe-io",
+                     Severity::kError,
+                     "iostream object 'std::" + t.text +
+                         "' used in signal-handler-reachable code (" + path +
+                         ")");
+      } else if (lock_types().count(t.text) > 0) {
+        detail::emit(out, file, t.line, kPass, "signal.unsafe-lock",
+                     Severity::kError,
+                     "locking primitive 'std::" + t.text +
+                         "' in signal-handler-reachable code (" + path + ")");
+      }
+    }
+
+    for (const CallSite& call : graph.calls_in(fn)) {
+      if (call.name == "operator new" || call.name == "operator delete") {
+        detail::emit(out, file, call.line, kPass, "signal.unsafe-alloc",
+                     Severity::kError,
+                     call.name + " in signal-handler-reachable code (" + path +
+                         ")");
+        continue;
+      }
+      if (allowlist().count(call.name) > 0) continue;
+      const FunctionDef* target = graph.find(call.name);
+      if (target != nullptr) {
+        if (target != &fn) walk(*target, path + " -> " + call.name, depth + 1);
+        continue;
+      }
+      detail::emit(out, file, call.line, kPass, "signal.unsafe-call",
+                   Severity::kError,
+                   "call to '" + call.qualified +
+                       "' is outside the async-signal-safe allowlist but "
+                       "reachable from a signal handler (" +
+                       path + ")");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<verify::Finding> check_signal_safety(
+    const std::vector<const SourceFile*>& files) {
+  std::vector<Finding> out;
+  const CallGraph graph = CallGraph::build(files);
+  for (const std::string& root : graph.handler_roots()) {
+    const FunctionDef* def = graph.find(root);
+    if (def == nullptr) {
+      // Registered handler with no in-project definition (SIG_DFL-style
+      // constants are filtered at detection): nothing to walk, but say
+      // so rather than silently proving nothing.
+      out.push_back(Finding{kPass, "signal.root-unresolved",
+                            Severity::kWarning,
+                            "signal handler '" + root +
+                                "' is registered but not defined in the "
+                                "scanned sources; its body is unverified",
+                            verify::Location::document(root)});
+      continue;
+    }
+    out.push_back(Finding{
+        kPass, "signal.root", Severity::kInfo,
+        "signal handler root '" + root + "' — walking its call graph",
+        verify::Location::source(def->file->path, def->line)});
+    Walker w{graph, out, {}};
+    w.walk(*def, root, 0);
+  }
+  return out;
+}
+
+}  // namespace cosparse::analyze

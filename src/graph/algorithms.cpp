@@ -30,7 +30,8 @@ class StatsScope {
         start_cycles_(eng.total_cycles()),
         start_energy_(eng.total_energy_pj()),
         start_log_(eng.iterations().size()),
-        wall_begin_(std::chrono::steady_clock::now()) {}
+        wall_begin_(  // cosparse-lint: allow(determinism)
+            std::chrono::steady_clock::now()) {}
 
   AlgoStats finish() const {
     AlgoStats s;
@@ -50,7 +51,8 @@ class StatsScope {
       const std::string prefix = std::string("algo.") + algo_;
       tel->histogram(prefix + ".wall_ms")
           .observe(std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - wall_begin_)
+                       std::chrono::steady_clock::now() -  // cosparse-lint: allow(determinism)
+                       wall_begin_)
                        .count());
       auto& iter_cycles = tel->histogram(prefix + ".iter_cycles");
       auto& frontier_nnz = tel->histogram(prefix + ".frontier_nnz");

@@ -298,7 +298,7 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
     return spmv_native(f, sr, dst_old);
   }
   const obs::PhaseScope phase("engine.spmv");
-  const auto wall_begin = std::chrono::steady_clock::now();
+  const auto wall_begin = std::chrono::steady_clock::now();  // cosparse-lint: allow(determinism)
   const Cycles start_cycles = machine_.cycles();
   const sim::Stats start_stats = machine_.stats();
 
@@ -379,7 +379,8 @@ Engine::Output Engine::spmv(const Frontier& f, const S& sr,
       machine_.config(), machine_.stats() - start_stats, rec.cycles);
   log_.push_back(rec);
   const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - wall_begin)
+                             std::chrono::steady_clock::now() -  // cosparse-lint: allow(determinism)
+                             wall_begin)
                              .count();
   record_iteration(rec, start_cycles, kernel_begin, kernel_end, wall_ms);
   return out;
@@ -389,7 +390,7 @@ template <kernels::Semiring S>
 Engine::Output Engine::spmv_native(const Frontier& f, const S& sr,
                                    const sparse::DenseVector* dst_old) {
   const obs::PhaseScope phase("native.spmv");
-  const auto wall_begin = std::chrono::steady_clock::now();
+  const auto wall_begin = std::chrono::steady_clock::now();  // cosparse-lint: allow(determinism)
 
   IterationRecord rec;
   rec.index = next_iteration_++;
@@ -452,7 +453,8 @@ Engine::Output Engine::spmv_native(const Frontier& f, const S& sr,
   rec.energy_pj = 0;
   log_.push_back(rec);
   const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - wall_begin)
+                             std::chrono::steady_clock::now() -  // cosparse-lint: allow(determinism)
+                             wall_begin)
                              .count();
   record_iteration(rec, 0, 0, 0, wall_ms);
   return out;

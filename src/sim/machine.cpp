@@ -148,7 +148,7 @@ namespace {
 
 double wall_ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
+             std::chrono::steady_clock::now() - t0)  // cosparse-lint: allow(determinism)
       .count();
 }
 
@@ -168,7 +168,7 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
   // after the join, on this thread — telemetry reads wall clocks only, so
   // the simulated event stream is identical with or without it.
   const bool timed = telemetry_ != nullptr;
-  const auto phase_t0 = std::chrono::steady_clock::now();
+  const auto phase_t0 = std::chrono::steady_clock::now();  // cosparse-lint: allow(determinism)
   if (timed) tile_fill_ms_.assign(T, 0.0);
   tile_log_.assign(T, {});
   phase_active_ = true;
@@ -177,7 +177,7 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
       const obs::PhaseScope phase("sim.log_fill");
       t_phase_tile = t;
       if (timed) {
-        const auto t0 = std::chrono::steady_clock::now();
+        const auto t0 = std::chrono::steady_clock::now();  // cosparse-lint: allow(determinism)
         fn(t);
         tile_fill_ms_[t] = wall_ms_since(t0);
       } else {
@@ -199,7 +199,7 @@ void Machine::for_tiles(const std::function<void(std::uint32_t)>& fn) {
     for (std::uint32_t t = 0; t < T; ++t) fill_hist.observe(tile_fill_ms_[t]);
     auto& replay_hist = telemetry_->histogram("sim.replay_ms");
     for (std::uint32_t t = 0; t < T; ++t) {
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = std::chrono::steady_clock::now();  // cosparse-lint: allow(determinism)
       replay_tile(t);
       replay_hist.observe(wall_ms_since(t0));
     }

@@ -1,0 +1,50 @@
+#include "verify/baseline.h"
+
+#include "common/error.h"
+
+namespace cosparse::verify {
+
+Baseline Baseline::from_json(const Json& j) {
+  COSPARSE_REQUIRE(j.is_object(), "baseline must be a JSON object");
+  const Json* schema = j.find("schema");
+  COSPARSE_REQUIRE(schema != nullptr &&
+                       schema->as_string() == kLintBaselineSchema,
+                   "baseline schema must be '" +
+                       std::string(kLintBaselineSchema) + "'");
+  Baseline b;
+  const Json* suppress = j.find("suppress");
+  if (suppress == nullptr) return b;
+  COSPARSE_REQUIRE(suppress->is_array(), "baseline 'suppress' must be an array");
+  for (const Json& e : suppress->items()) {
+    COSPARSE_REQUIRE(e.is_object(), "baseline entry must be an object");
+    const Json* pass = e.find("pass");
+    const Json* id = e.find("id");
+    COSPARSE_REQUIRE(pass != nullptr && id != nullptr,
+                     "baseline entry needs 'pass' and 'id'");
+    Entry entry;
+    entry.pass = pass->as_string();
+    entry.id = id->as_string();
+    if (const Json* loc = e.find("location"); loc != nullptr)
+      entry.location = loc->as_string();
+    b.entries_.push_back(std::move(entry));
+  }
+  return b;
+}
+
+std::size_t Baseline::apply(LintReport& report) const {
+  std::size_t n = 0;
+  for (Finding& f : report.findings()) {
+    if (f.suppressed) continue;
+    for (const Entry& e : entries_) {
+      if (e.pass == f.pass && e.id == f.id &&
+          (e.location.empty() || e.location == f.location.name)) {
+        f.suppressed = true;
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace cosparse::verify

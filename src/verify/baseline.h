@@ -1,0 +1,55 @@
+// Known-findings baseline (cosparse.lint_baseline/v1).
+//
+// A baseline lists findings every cosparse-lint subcommand should treat
+// as accepted debt: matched findings stay in the report (marked
+// suppressed) but stop counting toward the error/warning gate, so a
+// legacy defect can be ratcheted down without turning the CI gate off.
+// Matching is by pass + finding id, optionally narrowed to one location
+// name — never by message text, which is free to improve.
+//
+// Document shape:
+//   { "schema": "cosparse.lint_baseline/v1",
+//     "suppress": [ {"pass": "determinism",
+//                    "id": "determinism.wallclock",
+//                    "location": "src/sim/machine.cpp:151"}, ... ] }
+// "location" is optional; omitted → every location of that (pass, id).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "verify/findings.h"
+
+namespace cosparse::verify {
+
+inline constexpr std::string_view kLintBaselineSchema =
+    "cosparse.lint_baseline/v1";
+
+class Baseline {
+ public:
+  struct Entry {
+    std::string pass;
+    std::string id;
+    std::string location;  ///< empty → any location
+  };
+
+  Baseline() = default;
+
+  /// Parses a cosparse.lint_baseline/v1 document; throws cosparse::Error
+  /// on a wrong schema or malformed entries.
+  [[nodiscard]] static Baseline from_json(const Json& j);
+
+  /// Marks every matching finding in `report` suppressed. Returns the
+  /// number of findings suppressed by this call.
+  std::size_t apply(LintReport& report) const;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cosparse::verify

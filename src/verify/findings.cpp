@@ -33,6 +33,7 @@ Json Finding::to_json() const {
   loc["kind"] = location.kind;
   loc["name"] = location.name;
   o["location"] = std::move(loc);
+  if (suppressed) o["suppressed"] = true;
   return o;
 }
 
@@ -56,6 +57,8 @@ Finding finding_from_json(const Json& j) {
                         : std::string("document");
   f.location.name =
       loc.find("name") != nullptr ? loc.find("name")->as_string() : "";
+  const Json* sup = j.find("suppressed");
+  f.suppressed = sup != nullptr && sup->as_bool();
   return f;
 }
 
@@ -70,9 +73,16 @@ void LintReport::emit(std::string pass, std::string id, Severity sev,
 }
 
 std::size_t LintReport::count(Severity s) const {
+  return static_cast<std::size_t>(std::count_if(
+      findings_.begin(), findings_.end(), [s](const Finding& f) {
+        return f.severity == s && !f.suppressed;
+      }));
+}
+
+std::size_t LintReport::suppressed_count() const {
   return static_cast<std::size_t>(
       std::count_if(findings_.begin(), findings_.end(),
-                    [s](const Finding& f) { return f.severity == s; }));
+                    [](const Finding& f) { return f.suppressed; }));
 }
 
 void LintReport::sort_by_severity() {
@@ -94,7 +104,47 @@ Json LintReport::to_json() const {
   summary["errors"] = count(Severity::kError);
   summary["warnings"] = count(Severity::kWarning);
   summary["infos"] = count(Severity::kInfo);
+  summary["suppressed"] = suppressed_count();
   o["summary"] = std::move(summary);
+  return o;
+}
+
+Json lint_findings_json(std::string_view subcommand,
+                        const std::vector<LintReport>& reports) {
+  Json o = Json::object();
+  o["schema"] = kLintFindingsSchema;
+  o["tool"] = "cosparse-lint";
+  o["subcommand"] = std::string(subcommand);
+  Json subjects = Json::array();
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  std::size_t suppressed = 0;
+  for (const LintReport& r : reports) {
+    Json s = Json::object();
+    s["subject"] = r.subject();
+    Json arr = Json::array();
+    for (const Finding& f : r.findings()) arr.push_back(f.to_json());
+    s["findings"] = std::move(arr);
+    Json sum = Json::object();
+    sum["errors"] = r.count(Severity::kError);
+    sum["warnings"] = r.count(Severity::kWarning);
+    sum["infos"] = r.count(Severity::kInfo);
+    sum["suppressed"] = r.suppressed_count();
+    s["summary"] = std::move(sum);
+    subjects.push_back(std::move(s));
+    errors += r.count(Severity::kError);
+    warnings += r.count(Severity::kWarning);
+    infos += r.count(Severity::kInfo);
+    suppressed += r.suppressed_count();
+  }
+  o["subjects"] = std::move(subjects);
+  Json total = Json::object();
+  total["errors"] = errors;
+  total["warnings"] = warnings;
+  total["infos"] = infos;
+  total["suppressed"] = suppressed;
+  o["summary"] = std::move(total);
   return o;
 }
 

@@ -20,6 +20,12 @@ namespace cosparse::verify {
 
 inline constexpr std::string_view kLintReportSchema = "cosparse.lint_report/v1";
 
+/// Uniform multi-subject envelope every cosparse-lint subcommand emits
+/// under --json: {schema, tool, subcommand, subjects: [{subject,
+/// findings, summary}], summary}.
+inline constexpr std::string_view kLintFindingsSchema =
+    "cosparse.lint_findings/v1";
+
 enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 
 [[nodiscard]] const char* to_string(Severity s);
@@ -47,6 +53,11 @@ struct Location {
   static Location document(std::string path) {
     return {"document", std::move(path)};
   }
+  /// A source-file anchor, "file:line"; line 0 names the whole file.
+  static Location source(const std::string& file, int line) {
+    return {"source",
+            line > 0 ? file + ":" + std::to_string(line) : file};
+  }
 };
 
 struct Finding {
@@ -55,6 +66,9 @@ struct Finding {
   Severity severity = Severity::kError;
   std::string message;
   Location location;
+  /// Set by a baseline (baseline.h): the finding stays in the report
+  /// for visibility but no longer counts toward the gate.
+  bool suppressed = false;
 
   [[nodiscard]] Json to_json() const;
 };
@@ -74,7 +88,10 @@ class LintReport {
   [[nodiscard]] const std::vector<Finding>& findings() const {
     return findings_;
   }
+  [[nodiscard]] std::vector<Finding>& findings() { return findings_; }
+  /// Non-suppressed findings of severity `s`.
   [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t suppressed_count() const;
   [[nodiscard]] std::size_t errors() const { return count(Severity::kError); }
   /// No errors (warnings/infos permitted).
   [[nodiscard]] bool clean() const { return errors() == 0; }
@@ -89,5 +106,11 @@ class LintReport {
   std::string subject_;
   std::vector<Finding> findings_;
 };
+
+/// The cosparse.lint_findings/v1 envelope: one document covering every
+/// subject a cosparse-lint invocation linted, with a grand-total
+/// summary. Exit-code semantics live in the per-subject summaries.
+[[nodiscard]] Json lint_findings_json(std::string_view subcommand,
+                                      const std::vector<LintReport>& reports);
 
 }  // namespace cosparse::verify

@@ -1,0 +1,28 @@
+// Fixture: a hazard-free file in a scanned directory — the passes must
+// stay silent here (ordered containers, seeded Rng-style interfaces,
+// canonical tags, no clocks).
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct PhaseScope {
+  explicit PhaseScope(const char*) {}
+};
+
+int frontier_sum(const std::map<std::string, int>& ranks) {
+  const PhaseScope phase("graph.bfs");
+  int sum = 0;
+  for (const auto& [key, n] : ranks) sum += n;  // ordered: deterministic
+  return sum;
+}
+
+std::vector<int> doubled(const std::vector<int>& v) {
+  std::vector<int> out;
+  out.reserve(v.size());
+  for (int x : v) out.push_back(2 * x);
+  return out;
+}
+
+}  // namespace fixture

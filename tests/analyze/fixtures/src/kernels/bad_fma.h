@@ -1,0 +1,26 @@
+// Fixture: fused-multiply-add hazards in a kernel header — one
+// std::fma library call, one builtin, one AVX2 FMA intrinsic name.
+#pragma once
+
+#include <cmath>
+
+namespace fixture {
+
+inline double dot_fused(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc = std::fma(a[i], b[i], acc);
+  return acc;
+}
+
+inline double dot_builtin(double x, double y, double z) {
+  return __builtin_fma(x, y, z);
+}
+
+// Not compiled on the baseline target; the token alone must trip the pass.
+#if defined(__AVX2__) && defined(__FMA__)
+inline __m256d axpy4(__m256d a, __m256d x, __m256d y) {
+  return _mm256_fmadd_pd(a, x, y);
+}
+#endif
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a kernel TU whose compile-db entry (crafted by
+// test_code_lint.cpp) lacks -ffp-contract=off — the source itself is
+// hazard-free; the defect lives entirely in the flags.
+namespace fixture {
+
+double sum(const double* v, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: horizontal-add intrinsics in a native SIMD source. Its
+// compile-db entry additionally carries -ffast-math (fp.fast-math).
+namespace fixture {
+
+#if defined(__AVX2__)
+double reduce(__m256d acc) {
+  const __m256d h = _mm256_hadd_pd(acc, acc);  // reassociates the sum
+  return h[0] + h[2];
+}
+#endif
+
+// The experimental-SIMD spelling must trip the same check.
+template <typename Simd>
+double reduce_generic(const Simd& v) {
+  return reduce_add(v);
+}
+
+}  // namespace fixture

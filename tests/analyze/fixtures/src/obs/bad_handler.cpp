@@ -1,0 +1,43 @@
+// Fixture: a SIGPROF handler full of async-signal-unsafe constructs.
+// Every hazard class of the signal_safety pass appears at least once,
+// both directly in the handler and transitively through helpers.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+std::mutex g_mu;
+
+// Transitive hazard: reached from the handler two hops down.
+void format_sample(int n) {
+  std::string label = "sample " + std::to_string(n);  // allocates
+  std::printf("%s\n", label.c_str());
+}
+
+void record_sample(int signo) {
+  std::lock_guard<std::mutex> lock(g_mu);  // lock in handler path
+  format_sample(signo);
+}
+
+extern "C" void bad_sigprof_handler(int signo) {
+  std::cout << "tick " << signo << "\n";     // iostream in handler
+  void* scratch = std::malloc(64);           // allocating call
+  int* boxed = new int(signo);               // operator new
+  record_sample(*boxed);
+  delete boxed;                              // operator delete
+  std::free(scratch);
+}
+
+void install_via_signal() { std::signal(SIGPROF, &bad_sigprof_handler); }
+
+void install_via_sigaction() {
+  struct sigaction sa {};
+  sa.sa_handler = &bad_sigprof_handler;
+  sigaction(SIGPROF, &sa, nullptr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: the escape hatch. Both annotation placements (trailing and
+// line-above) must downgrade the wallclock finding to an info with id
+// "determinism.allowed"; the unannotated read below must still flag.
+#include <chrono>
+
+namespace fixture {
+
+double telemetry_trailing() {
+  const auto t0 = std::chrono::steady_clock::now();  // cosparse-lint: allow(determinism)
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+double telemetry_line_above() {
+  // cosparse-lint: allow(determinism)
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+double unannotated() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+}  // namespace fixture

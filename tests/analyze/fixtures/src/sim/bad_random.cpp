@@ -1,0 +1,25 @@
+// Fixture: nondeterministic value sources in a simulator source —
+// libc rand(), std::random_device entropy, and wall-clock reads that
+// feed computed state (no allow annotation anywhere in this file).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int jitter() { return std::rand() % 7; }
+
+unsigned seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+long stamp() { return std::time(nullptr); }
+
+double elapsed_ms() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: hash-order iteration and pointer-to-integer casts — the
+// address-dependent hazard classes of the determinism pass.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> g_counts;
+
+int total_range_for() {
+  int sum = 0;
+  for (const auto& [key, n] : g_counts) sum += n;  // hash-order visit
+  return sum;
+}
+
+int first_explicit_iter() {
+  auto it = g_counts.begin();  // hash-order first element
+  return it == g_counts.end() ? 0 : it->second;
+}
+
+std::uint64_t key_of(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);  // host address as data
+}
+
+unsigned long key_c_cast(const void* p) {
+  return (uintptr_t)p;  // same hazard, C-cast spelling
+}
+
+}  // namespace fixture

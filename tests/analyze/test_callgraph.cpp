@@ -1,0 +1,125 @@
+// Call-graph tests: definition detection across C++ declarator shapes,
+// call-site extraction, and signal-handler root discovery — the
+// machinery the signal_safety walk is built on.
+#include "analyze/callgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace cosparse::analyze {
+namespace {
+
+bool has_fn(const CallGraph& g, const std::string& name) {
+  return g.find(name) != nullptr;
+}
+
+bool calls(const CallGraph& g, const std::string& from,
+           const std::string& to) {
+  const FunctionDef* def = g.find(from);
+  if (def == nullptr) return false;
+  const auto cs = g.calls_in(*def);
+  return std::any_of(cs.begin(), cs.end(),
+                     [&](const CallSite& c) { return c.name == to; });
+}
+
+CallGraph build_one(const SourceFile& f) { return CallGraph::build({&f}); }
+
+TEST(CallGraph, DetectsPlainAndQualifiedDefinitions) {
+  const SourceFile f = scan_source("x.cpp",
+                                   "void helper(int a) { work(a); }\n"
+                                   "int Engine::run() const noexcept {\n"
+                                   "  helper(1);\n"
+                                   "  return 0;\n"
+                                   "}\n");
+  const CallGraph g = build_one(f);
+  ASSERT_TRUE(has_fn(g, "helper"));
+  ASSERT_TRUE(has_fn(g, "run"));
+  EXPECT_EQ(g.find("run")->qualified, "Engine::run");
+  EXPECT_TRUE(calls(g, "run", "helper"));
+  EXPECT_TRUE(calls(g, "helper", "work"));
+}
+
+TEST(CallGraph, TrailingReturnAndCtorInitList) {
+  const SourceFile f = scan_source(
+      "x.cpp",
+      "auto make() -> int { return seed(); }\n"
+      "Widget::Widget(int n) : size_(n), data_(alloc(n)) { init(); }\n");
+  const CallGraph g = build_one(f);
+  ASSERT_TRUE(has_fn(g, "make"));
+  EXPECT_TRUE(calls(g, "make", "seed"));
+  ASSERT_TRUE(has_fn(g, "Widget"));
+  EXPECT_TRUE(calls(g, "Widget", "init"));
+}
+
+TEST(CallGraph, ControlKeywordsAndDeclarationsAreNotDefs) {
+  const SourceFile f = scan_source("x.cpp",
+                                   "void decl_only(int);\n"
+                                   "void body() {\n"
+                                   "  if (x) { y(); }\n"
+                                   "  while (p()) {}\n"
+                                   "}\n");
+  const CallGraph g = build_one(f);
+  EXPECT_FALSE(has_fn(g, "decl_only"));  // no body to walk
+  EXPECT_FALSE(has_fn(g, "if"));
+  EXPECT_FALSE(has_fn(g, "while"));
+  ASSERT_TRUE(has_fn(g, "body"));
+  EXPECT_TRUE(calls(g, "body", "y"));
+  EXPECT_TRUE(calls(g, "body", "p"));
+}
+
+TEST(CallGraph, NewAndDeleteAreOperatorCalls) {
+  const SourceFile f =
+      scan_source("x.cpp", "void alloc_it() { auto* p = new Obj; delete p; }");
+  const CallGraph g = build_one(f);
+  const auto cs = g.calls_in(*g.find("alloc_it"));
+  EXPECT_TRUE(std::any_of(cs.begin(), cs.end(), [](const CallSite& c) {
+    return c.name == "operator new";
+  }));
+  EXPECT_TRUE(std::any_of(cs.begin(), cs.end(), [](const CallSite& c) {
+    return c.name == "operator delete";
+  }));
+}
+
+TEST(CallGraph, RootsFromSignalCall) {
+  const SourceFile f = scan_source(
+      "x.cpp",
+      "void install() { std::signal(SIGPROF, &my_handler); }\n"
+      "void defaulted() { std::signal(SIGINT, SIG_DFL); }\n");
+  const CallGraph g = build_one(f);
+  const auto& roots = g.handler_roots();
+  EXPECT_NE(std::find(roots.begin(), roots.end(), "my_handler"), roots.end());
+  // SIG_DFL / SIG_IGN constants are not handler functions.
+  EXPECT_EQ(std::find(roots.begin(), roots.end(), "SIG_DFL"), roots.end());
+}
+
+TEST(CallGraph, RootsFromSigactionAssignment) {
+  const SourceFile f = scan_source(
+      "x.cpp",
+      "void install() {\n"
+      "  struct sigaction sa {};\n"
+      "  sa.sa_handler = &tick_handler;\n"
+      "  sa.sa_sigaction = info_handler;\n"
+      "  sigaction(SIGPROF, &sa, nullptr);\n"
+      "}\n");
+  const CallGraph g = build_one(f);
+  const auto& roots = g.handler_roots();
+  EXPECT_NE(std::find(roots.begin(), roots.end(), "tick_handler"), roots.end());
+  EXPECT_NE(std::find(roots.begin(), roots.end(), "info_handler"), roots.end());
+}
+
+TEST(CallGraph, MemberCallsAreMarked) {
+  const SourceFile f =
+      scan_source("x.cpp", "void go() { obj.load(); free_fn(); }");
+  const CallGraph g = build_one(f);
+  const auto cs = g.calls_in(*g.find("go"));
+  for (const CallSite& c : cs) {
+    if (c.name == "load") EXPECT_TRUE(c.member);
+    if (c.name == "free_fn") EXPECT_FALSE(c.member);
+  }
+}
+
+}  // namespace
+}  // namespace cosparse::analyze

@@ -1,0 +1,80 @@
+// compile_commands.json reader tests: both database dialects, exact
+// flag-token matching, path resolution, and malformed-entry findings.
+#include "analyze/compile_db.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cosparse::analyze {
+namespace {
+
+TEST(CompileDb, ParsesCommandForm) {
+  const Json doc = Json::parse(R"([
+    {"directory": "/repo/build", "file": "../src/kernels/ip.cpp",
+     "command": "g++ -O2 -ffp-contract=off -c ../src/kernels/ip.cpp"}
+  ])");
+  std::vector<verify::Finding> findings;
+  const CompileDb db = CompileDb::parse(doc, &findings);
+  EXPECT_TRUE(findings.empty());
+  ASSERT_EQ(db.commands().size(), 1u);
+  EXPECT_EQ(CompileDb::resolved_file(db.commands()[0]),
+            "/repo/src/kernels/ip.cpp");
+  EXPECT_TRUE(CompileDb::has_flag(db.commands()[0], "-ffp-contract=off"));
+}
+
+TEST(CompileDb, ParsesArgumentsForm) {
+  const Json doc = Json::parse(R"([
+    {"directory": "/b", "file": "a.cpp",
+     "arguments": ["clang++", "-O2", "-ffast-math", "-c", "a.cpp"]}
+  ])");
+  std::vector<verify::Finding> findings;
+  const CompileDb db = CompileDb::parse(doc, &findings);
+  ASSERT_EQ(db.commands().size(), 1u);
+  EXPECT_TRUE(CompileDb::has_flag(db.commands()[0], "-ffast-math"));
+  EXPECT_FALSE(CompileDb::has_flag(db.commands()[0], "-ffp-contract=off"));
+}
+
+TEST(CompileDb, FlagMatchIsExactTokenNotSubstring) {
+  const CompileCommand cc{"/b", "a.cpp",
+                          "g++ -ffp-contract=fast -funsafe-math-optimizations"};
+  EXPECT_FALSE(CompileDb::has_flag(cc, "-ffp-contract=off"));
+  EXPECT_TRUE(CompileDb::has_flag(cc, "-ffp-contract=fast"));
+  EXPECT_FALSE(CompileDb::has_flag(cc, "-funsafe-math"));
+}
+
+TEST(CompileDb, ResolvedFileCollapsesDots) {
+  const CompileCommand cc{"/repo/build/./sub", "../../src/./x.cpp", "g++"};
+  EXPECT_EQ(CompileDb::resolved_file(cc), "/repo/src/x.cpp");
+  const CompileCommand abs{"/anything", "/repo/src/y.cpp", "g++"};
+  EXPECT_EQ(CompileDb::resolved_file(abs), "/repo/src/y.cpp");
+}
+
+TEST(CompileDb, MalformedEntriesBecomeFindings) {
+  const Json doc = Json::parse(R"([
+    {"directory": "/b", "command": "g++"},
+    {"directory": "/b", "file": "ok.cpp", "command": "g++ -c ok.cpp"},
+    42
+  ])");
+  std::vector<verify::Finding> findings;
+  const CompileDb db = CompileDb::parse(doc, &findings);
+  ASSERT_EQ(db.commands().size(), 1u);  // the good entry survives
+  ASSERT_EQ(findings.size(), 2u);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.id, "code.compile-db-malformed");
+    EXPECT_EQ(f.severity, verify::Severity::kError);
+  }
+}
+
+TEST(CompileDb, NonArrayRootIsMalformed) {
+  std::vector<verify::Finding> findings;
+  const CompileDb db = CompileDb::parse(Json::parse(R"({"not": "a db"})"),
+                                        &findings);
+  EXPECT_TRUE(db.empty());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].id, "code.compile-db-malformed");
+}
+
+}  // namespace
+}  // namespace cosparse::analyze

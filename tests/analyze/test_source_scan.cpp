@@ -1,0 +1,108 @@
+// Tokenizer unit tests: the pass soundness argument (DESIGN.md §15)
+// rests on scan_source never mis-lexing identifiers, string literals or
+// the annotation comments — these pin that contract down.
+#include "analyze/source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace cosparse::analyze {
+namespace {
+
+std::vector<std::string> idents(const SourceFile& f) {
+  std::vector<std::string> out;
+  for (const Token& t : f.tokens)
+    if (t.kind == TokKind::kIdent) out.push_back(t.text);
+  return out;
+}
+
+std::vector<std::string> strings(const SourceFile& f) {
+  std::vector<std::string> out;
+  for (const Token& t : f.tokens)
+    if (t.kind == TokKind::kString) out.push_back(t.text);
+  return out;
+}
+
+TEST(SourceScan, IdentifiersStringsAndLines) {
+  const SourceFile f = scan_source("x.cpp", "int main() {\n  run(\"a.b\");\n}");
+  const auto ids = idents(f);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "main"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "run"), ids.end());
+  ASSERT_EQ(strings(f), std::vector<std::string>{"a.b"});
+  for (const Token& t : f.tokens)
+    if (t.kind == TokKind::kString) EXPECT_EQ(t.line, 2);
+}
+
+TEST(SourceScan, CommentsEmitNoTokens) {
+  const SourceFile f = scan_source(
+      "x.cpp", "// rand() in a comment\n/* time() too\n over lines */\nint x;");
+  const auto ids = idents(f);
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), "rand"), ids.end());
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), "time"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "x"), ids.end());
+}
+
+TEST(SourceScan, PreprocessorLinesAreConsumed) {
+  const SourceFile f = scan_source(
+      "x.cpp", "#define BAD rand() \\\n  + rand()\n#include <cstdlib>\nint y;");
+  const auto ids = idents(f);
+  // Both the directive and its continuation line are skipped.
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), "rand"), ids.end());
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), "cstdlib"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "y"), ids.end());
+}
+
+TEST(SourceScan, RawStringsDoNotLeakTokens) {
+  const SourceFile f = scan_source(
+      "x.cpp", "auto s = R\"(rand() \" unbalanced)\";\nint z;");
+  const auto ids = idents(f);
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), "rand"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "z"), ids.end());
+  ASSERT_EQ(strings(f).size(), 1u);
+  EXPECT_EQ(strings(f)[0], "rand() \" unbalanced");
+}
+
+TEST(SourceScan, StringEscapesAndCharLiterals) {
+  const SourceFile f =
+      scan_source("x.cpp", "auto s = \"q\\\"uoted\"; char c = '\"';\nint w;");
+  ASSERT_EQ(strings(f).size(), 1u);
+  EXPECT_EQ(strings(f)[0], "q\\\"uoted");
+  // The char literal's quote must not open a string that swallows `w`.
+  const auto ids = idents(f);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "w"), ids.end());
+}
+
+TEST(SourceScan, QualifiedAndMemberPunctsAreJoined) {
+  const SourceFile f = scan_source("x.cpp", "std::chrono::x; p->y; a.z;");
+  int sep = 0;
+  for (const Token& t : f.tokens)
+    if (t.kind == TokKind::kPunct && (t.text == "::" || t.text == "->")) ++sep;
+  EXPECT_EQ(sep, 3);  // two `::`, one `->`
+}
+
+TEST(SourceScan, AllowAnnotationCoversItsLineAndTheNext) {
+  const SourceFile f = scan_source("x.cpp",
+                                   "int a;\n"
+                                   "int b;  // cosparse-lint: allow(determinism)\n"
+                                   "int c;\n"
+                                   "int d;\n");
+  EXPECT_FALSE(f.allowed("determinism", 1));
+  EXPECT_TRUE(f.allowed("determinism", 2));   // trailing, same line
+  EXPECT_TRUE(f.allowed("determinism", 3));   // line directly below
+  EXPECT_FALSE(f.allowed("determinism", 4));
+  EXPECT_FALSE(f.allowed("signal_safety", 2));  // other pass unaffected
+}
+
+TEST(SourceScan, AllowAnnotationAcceptsMultiplePasses) {
+  const SourceFile f = scan_source(
+      "x.cpp", "// cosparse-lint: allow(determinism, phase_hygiene)\nint a;\n");
+  EXPECT_TRUE(f.allowed("determinism", 2));
+  EXPECT_TRUE(f.allowed("phase_hygiene", 2));
+  EXPECT_FALSE(f.allowed("fp_exactness", 2));
+}
+
+}  // namespace
+}  // namespace cosparse::analyze

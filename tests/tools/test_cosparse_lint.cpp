@@ -183,13 +183,20 @@ TEST(CosparseLintCli, StrictPromotesWarningsToFailure) {
   EXPECT_EQ(run_cli({"plan", path, "--strict"}, nullptr), 1);
 }
 
-TEST(CosparseLintCli, JsonOutputIsALintReportDocument) {
+TEST(CosparseLintCli, JsonOutputIsALintFindingsDocument) {
   const auto path = write_temp("clean2.plan.json", kQuickstartPlan);
   std::string text;
   EXPECT_EQ(run_cli({"plan", path, "--json"}, &text), 0);
   const Json doc = Json::parse(text);
-  EXPECT_EQ(doc.find("schema")->as_string(), verify::kLintReportSchema);
-  EXPECT_EQ(doc.find("subject")->as_string(), "quickstart");
+  EXPECT_EQ(doc.find("schema")->as_string(), verify::kLintFindingsSchema);
+  EXPECT_EQ(doc.find("tool")->as_string(), "cosparse-lint");
+  EXPECT_EQ(doc.find("subcommand")->as_string(), "plan");
+  const auto& subjects = doc.find("subjects")->items();
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(subjects[0].find("subject")->as_string(), "quickstart");
+  ASSERT_NE(subjects[0].find("summary"), nullptr);
+  ASSERT_NE(doc.find("summary"), nullptr);
+  EXPECT_EQ(doc.find("summary")->find("errors")->as_int(), 0);
 }
 
 TEST(CosparseLintCli, ReportSubcommandValidatesRunReports) {
@@ -222,7 +229,73 @@ TEST(CosparseLintCli, ReportOutWritesDocument) {
   std::stringstream buf;
   buf << in.rdbuf();
   const Json doc = Json::parse(buf.str());
-  EXPECT_EQ(doc.find("schema")->as_string(), verify::kLintReportSchema);
+  EXPECT_EQ(doc.find("schema")->as_string(), verify::kLintFindingsSchema);
+}
+
+// ---- --baseline: shared suppression across subcommands ----
+
+constexpr const char* kIllegalPairPlan = R"({
+  "schema": "cosparse.run_plan/v1",
+  "dataset": {"vertices": 1000, "edges": 8000},
+  "kernel": {"sw": "OP", "hw": "SCS"}
+})";
+
+TEST(CosparseLintCli, BaselineSuppressesKnownFindings) {
+  const auto plan = write_temp("baselined.plan.json", kIllegalPairPlan);
+  const auto baseline = write_temp("suppress.baseline.json", R"({
+    "schema": "cosparse.lint_baseline/v1",
+    "suppress": [{"pass": "config", "id": "config.illegal-pair"}]
+  })");
+  // Without the baseline the plan gates; with it the finding stays
+  // visible (marked suppressed) but the exit code drops to 0.
+  EXPECT_EQ(run_cli({"plan", plan}, nullptr), 1);
+  std::string text;
+  EXPECT_EQ(run_cli({"plan", plan, "--baseline", baseline}, &text), 0);
+  EXPECT_NE(text.find("suppressed error[config.illegal-pair]"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 suppressed"), std::string::npos);
+}
+
+TEST(CosparseLintCli, BaselineLocationNarrowsTheMatch) {
+  const auto plan = write_temp("narrow.plan.json", kIllegalPairPlan);
+  const auto wrong_loc = write_temp("narrow.baseline.json", R"({
+    "schema": "cosparse.lint_baseline/v1",
+    "suppress": [{"pass": "config", "id": "config.illegal-pair",
+                  "location": "some.other.field"}]
+  })");
+  EXPECT_EQ(run_cli({"plan", plan, "--baseline", wrong_loc}, nullptr), 1);
+}
+
+TEST(CosparseLintCli, BadBaselineIsAUsageError) {
+  const auto plan = write_temp("ok.plan.json", kQuickstartPlan);
+  const auto bad = write_temp("bad.baseline.json", R"({"schema": "nope"})");
+  EXPECT_EQ(run_cli({"plan", plan, "--baseline", bad}, nullptr), 2);
+  EXPECT_EQ(run_cli({"plan", plan, "--baseline", "/nonexistent.json"},
+                    nullptr),
+            2);
+}
+
+TEST(CosparseLintCli, SuppressedFindingsAreMarkedInJson) {
+  const auto plan = write_temp("marked.plan.json", kIllegalPairPlan);
+  const auto baseline = write_temp("marked.baseline.json", R"({
+    "schema": "cosparse.lint_baseline/v1",
+    "suppress": [{"pass": "config", "id": "config.illegal-pair",
+                  "location": "kernel.hw"}]
+  })");
+  std::string text;
+  EXPECT_EQ(run_cli({"plan", plan, "--baseline", baseline, "--json"}, &text),
+            0);
+  const Json doc = Json::parse(text);
+  const Json& subject = doc.find("subjects")->items()[0];
+  EXPECT_GE(subject.find("summary")->find("suppressed")->as_int(), 1);
+  bool saw_marker = false;
+  for (const Json& f : subject.find("findings")->items()) {
+    if (f.find("id")->as_string() == "config.illegal-pair") {
+      const Json* sup = f.find("suppressed");
+      saw_marker = sup != nullptr && sup->as_bool();
+    }
+  }
+  EXPECT_TRUE(saw_marker);
 }
 
 }  // namespace

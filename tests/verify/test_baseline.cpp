@@ -1,0 +1,114 @@
+// Baseline (cosparse.lint_baseline/v1) unit tests: schema validation,
+// (pass, id, location) matching, and the suppressed-findings accounting
+// in LintReport / lint_findings_json.
+#include "verify/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosparse::verify {
+namespace {
+
+LintReport two_finding_report() {
+  LintReport r("subject");
+  r.add(Finding{"determinism", "determinism.rand", Severity::kError, "rand",
+                Location::source("src/sim/a.cpp", 10)});
+  r.add(Finding{"determinism", "determinism.rand", Severity::kError, "rand",
+                Location::source("src/sim/b.cpp", 20)});
+  return r;
+}
+
+TEST(Baseline, RejectsWrongSchemaAndShape) {
+  EXPECT_THROW(Baseline::from_json(Json::parse(R"({"schema": "nope"})")),
+               Error);
+  EXPECT_THROW(Baseline::from_json(Json::parse("[]")), Error);
+  EXPECT_THROW(Baseline::from_json(Json::parse(R"({
+    "schema": "cosparse.lint_baseline/v1",
+    "suppress": [{"pass": "x"}]
+  })")),
+               Error);
+}
+
+TEST(Baseline, EmptySuppressListIsValid) {
+  const Baseline b = Baseline::from_json(Json::parse(R"({
+    "schema": "cosparse.lint_baseline/v1", "suppress": []
+  })"));
+  EXPECT_TRUE(b.empty());
+  LintReport r = two_finding_report();
+  EXPECT_EQ(b.apply(r), 0u);
+  EXPECT_EQ(r.errors(), 2u);
+}
+
+TEST(Baseline, PassAndIdMatchSuppressesEveryLocation) {
+  const Baseline b = Baseline::from_json(Json::parse(R"({
+    "schema": "cosparse.lint_baseline/v1",
+    "suppress": [{"pass": "determinism", "id": "determinism.rand"}]
+  })"));
+  LintReport r = two_finding_report();
+  EXPECT_EQ(b.apply(r), 2u);
+  EXPECT_EQ(r.errors(), 0u);
+  EXPECT_EQ(r.suppressed_count(), 2u);
+  // Suppressed findings stay in the report, marked.
+  EXPECT_EQ(r.findings().size(), 2u);
+  for (const Finding& f : r.findings()) EXPECT_TRUE(f.suppressed);
+}
+
+TEST(Baseline, LocationNarrowsToOneAnchor) {
+  const Baseline b = Baseline::from_json(Json::parse(R"({
+    "schema": "cosparse.lint_baseline/v1",
+    "suppress": [{"pass": "determinism", "id": "determinism.rand",
+                  "location": "src/sim/a.cpp:10"}]
+  })"));
+  LintReport r = two_finding_report();
+  EXPECT_EQ(b.apply(r), 1u);
+  EXPECT_EQ(r.errors(), 1u);
+  EXPECT_EQ(r.findings()[0].suppressed ^ r.findings()[1].suppressed, 1);
+}
+
+TEST(Baseline, WrongPassDoesNotMatch) {
+  const Baseline b = Baseline::from_json(Json::parse(R"({
+    "schema": "cosparse.lint_baseline/v1",
+    "suppress": [{"pass": "fp_exactness", "id": "determinism.rand"}]
+  })"));
+  LintReport r = two_finding_report();
+  EXPECT_EQ(b.apply(r), 0u);
+  EXPECT_EQ(r.errors(), 2u);
+}
+
+TEST(Baseline, SuppressedMarkerRoundTripsThroughJson) {
+  LintReport r = two_finding_report();
+  r.findings()[0].suppressed = true;
+  const Json j = r.findings()[0].to_json();
+  EXPECT_TRUE(j.find("suppressed")->as_bool());
+  const Finding back = finding_from_json(j);
+  EXPECT_TRUE(back.suppressed);
+  // An unmarked finding omits the key entirely (stable golden JSON).
+  EXPECT_EQ(r.findings()[1].to_json().find("suppressed"), nullptr);
+  EXPECT_FALSE(finding_from_json(r.findings()[1].to_json()).suppressed);
+}
+
+TEST(Baseline, LintFindingsEnvelopeAggregatesAcrossSubjects) {
+  LintReport a = two_finding_report();
+  LintReport b("other");
+  b.add(Finding{"phase_hygiene", "phase.unregistered-tag", Severity::kWarning,
+                "tag", Location::source("src/x.cpp", 1)});
+  a.findings()[0].suppressed = true;
+  const Json doc = lint_findings_json("code", {a, b});
+  EXPECT_EQ(doc.find("schema")->as_string(), kLintFindingsSchema);
+  EXPECT_EQ(doc.find("subcommand")->as_string(), "code");
+  ASSERT_EQ(doc.find("subjects")->items().size(), 2u);
+  const Json* total = doc.find("summary");
+  EXPECT_EQ(total->find("errors")->as_int(), 1);      // one of two suppressed
+  EXPECT_EQ(total->find("warnings")->as_int(), 1);
+  EXPECT_EQ(total->find("suppressed")->as_int(), 1);
+}
+
+TEST(Baseline, SourceLocationFormat) {
+  EXPECT_EQ(Location::source("a/b.cpp", 7).name, "a/b.cpp:7");
+  EXPECT_EQ(Location::source("a/b.cpp", 7).kind, "source");
+  EXPECT_EQ(Location::source("a/b.cpp", 0).name, "a/b.cpp");  // whole file
+}
+
+}  // namespace
+}  // namespace cosparse::verify
