@@ -1,0 +1,201 @@
+// Deterministic serving-load benchmark (ROADMAP item 1, DESIGN.md §16).
+//
+// Replays the same seeded traces — one Poisson, one bursty — through the
+// cosparsed serving layer at --threads-list host thread counts, and
+// records honest wall-clock throughput and request-latency percentiles in
+// BENCH_serve.json. The gate: every leg of an arrival process must
+// produce the same results_digest (the fold over every response id,
+// status, virtual finish time and per-request output digest) — host
+// threads may only change the wall-clock columns. The virtual schedule
+// columns (admitted/rejected, virtual p50/p99) are pure functions of the
+// config and therefore identical across legs by construction.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "native/simd.h"
+#include "serve/config.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+
+using namespace cosparse;
+
+namespace {
+
+/// The committed trace shapes: same workload mix, same request count,
+/// only the arrival process differs.
+serve::ServeConfig base_config(unsigned scale, std::uint64_t seed,
+                               std::uint32_t requests) {
+  serve::ServeConfig cfg;
+  cfg.scheduler_type = "same-dataset-batch";
+  cfg.max_active_reqs = 64;
+  cfg.max_batch_size = 8;
+  cfg.virtual_workers = 2;
+  cfg.scale = scale;
+  cfg.traffic.request_interval_us = 800;
+  cfg.traffic.request_total_cnt = requests;
+  cfg.traffic.seed = seed;
+  cfg.traffic.datasets = {"twitter", "vsp", "youtube"};
+  cfg.traffic.algos = {"bfs", "sssp", "pagerank"};
+  return cfg;
+}
+
+struct Leg {
+  std::uint32_t threads = 0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::string results_digest;
+  serve::ScheduleStats stats;
+  std::uint64_t virtual_p50_us = 0;
+  std::uint64_t virtual_p99_us = 0;
+};
+
+Leg run_leg(const serve::ServeConfig& cfg, std::uint32_t threads) {
+  serve::ServerOptions opts;
+  opts.serve_threads = threads;
+  opts.telemetry = cosparse::bench::telemetry();
+  serve::Server server(cfg, opts);
+  const Json report = server.replay();
+  Leg leg;
+  leg.threads = threads;
+  const Json& timing = *report.find("timing");
+  leg.wall_ms = timing.find("total_wall_ms")->as_double();
+  leg.throughput_rps = timing.find("throughput_rps")->as_double();
+  leg.p50_ms = timing.find("request_ms_p50")->as_double();
+  leg.p99_ms = timing.find("request_ms_p99")->as_double();
+  leg.results_digest =
+      report.find("results")->find("results_digest")->as_string();
+  leg.stats = server.schedule().stats;
+  leg.virtual_p50_us =
+      serve::latency_percentile_us(server.schedule().responses, 50.0);
+  leg.virtual_p99_us =
+      serve::latency_percentile_us(server.schedule().responses, 99.0);
+  return leg;
+}
+
+std::vector<std::uint32_t> parse_threads(const std::string& list) {
+  std::vector<std::uint32_t> out;
+  std::stringstream ss(list);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty())
+      out.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("serve_load",
+                "Deterministic serving-load replay: Poisson and bursty "
+                "traces through the cosparsed scheduler at several host "
+                "thread counts (results_digest asserted identical per "
+                "trace; only wall-clock may differ)");
+  bench::add_common_options(cli, "64");
+  cli.add_option("requests", "requests per trace", "200");
+  cli.add_option("threads-list", "serve-thread legs", "1,2,8");
+  cli.add_option("json-out", "machine-readable results",
+                 "BENCH_serve.json");
+  if (!cli.parse(argc, argv)) return 1;
+  bench::init_observability(cli);
+
+  const auto scale = static_cast<unsigned>(cli.integer("scale"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const auto requests =
+      static_cast<std::uint32_t>(cli.integer("requests"));
+  const auto threads = parse_threads(cli.str("threads-list"));
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  std::cout << "serve_load: " << requests << " requests/trace at scale "
+            << scale << ", seed " << seed << "; host has " << host_cores
+            << " core(s)\n\n";
+
+  Table table({"trace", "threads", "wall ms", "req/s", "p50 ms", "p99 ms",
+               "admitted", "rejected", "digest-identical"});
+  Json jtraces = Json::array();
+  bool all_identical = true;
+  for (const std::string arrival : {"poisson", "bursty"}) {
+    serve::ServeConfig cfg = base_config(scale, seed, requests);
+    // Honor --exec-mode so the host section names the backend that
+    // actually ran (the digests are identical either way — that is the
+    // sim/native differential gate's job to prove).
+    cfg.exec_mode = native::to_string(bench::exec_mode());
+    cfg.traffic.arrival = arrival;
+    Json jlegs = Json::array();
+    std::string first_digest;
+    for (const std::uint32_t t : threads) {
+      const Leg leg = run_leg(cfg, t);
+      if (first_digest.empty()) first_digest = leg.results_digest;
+      const bool identical = leg.results_digest == first_digest;
+      all_identical = all_identical && identical;
+      table.add_row({arrival, std::to_string(t), Table::fmt(leg.wall_ms, 2),
+                     Table::fmt(leg.throughput_rps, 1),
+                     Table::fmt(leg.p50_ms, 3), Table::fmt(leg.p99_ms, 3),
+                     std::to_string(leg.stats.admitted),
+                     std::to_string(leg.stats.rejected),
+                     identical ? "yes" : "NO"});
+      Json o = Json::object();
+      o["serve_threads"] = t;
+      o["wall_ms"] = leg.wall_ms;
+      o["throughput_rps"] = leg.throughput_rps;
+      o["request_ms_p50"] = leg.p50_ms;
+      o["request_ms_p99"] = leg.p99_ms;
+      o["virtual_latency_p50_us"] = leg.virtual_p50_us;
+      o["virtual_latency_p99_us"] = leg.virtual_p99_us;
+      o["admitted"] = leg.stats.admitted;
+      o["rejected"] = leg.stats.rejected;
+      o["batches_digest_identical"] = identical;
+      o["results_digest"] = leg.results_digest;
+      jlegs.push_back(std::move(o));
+    }
+    Json jt = Json::object();
+    jt["arrival"] = arrival;
+    jt["config"] = cfg.to_json();
+    jt["legs"] = std::move(jlegs);
+    jtraces.push_back(std::move(jt));
+  }
+  bench::emit("serve_load", table);
+
+  Json doc = Json::object();
+  doc["schema"] = "cosparse.bench_serve/v1";
+  doc["scale"] = scale;
+  doc["seed"] = seed;
+  doc["requests_per_trace"] = requests;
+  Json host = Json::object();
+  host["host_cores"] = host_cores;
+  host["cpu_model"] = native::cpu_model_string();
+  host["simd"] = std::string(native::to_string(native::simd_level()));
+  host["exec_mode"] = std::string(native::to_string(bench::exec_mode()));
+  doc["host"] = std::move(host);
+  doc["all_digests_identical"] = all_identical;
+  doc["note"] =
+      "wall_ms / throughput_rps / request_ms_p50/p99 are host wall-clock "
+      "on the machine named by host.cpu_model and depend on host.host_cores "
+      "and concurrent load; serve_threads above host_cores cannot add "
+      "speedup. virtual_latency_* and admitted/rejected come from the "
+      "deterministic virtual schedule and are identical across legs by "
+      "construction. results_digest folds every response id, status, "
+      "virtual finish time and per-request output digest; the benchmark "
+      "fails if any leg of a trace diverges.";
+  doc["traces"] = std::move(jtraces);
+  std::ofstream out(cli.str("json-out"));
+  out << doc.dump(1) << "\n";
+  std::cout << "wrote " << cli.str("json-out") << "\n";
+
+  const int exit_code = bench::finish_run();
+  if (!all_identical) {
+    std::cerr << "FAIL: a leg's results_digest diverged across "
+                 "serve-thread counts\n";
+    return 1;
+  }
+  return exit_code;
+}

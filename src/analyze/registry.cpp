@@ -18,6 +18,8 @@ const std::vector<std::string_view>& canonical_phase_tags() {
       "sim.exec",           // serial tile execution
       "sim.log_fill",       // parallel tile-body event-log fill
       "sim.replay",         // deterministic tile-ID-order replay
+      "serve.execute",      // serving daemon: whole batch-execution phase
+      "serve.batch",        // serving daemon: one batch on a serve thread
   };
   return tags;
 }

@@ -1,0 +1,117 @@
+// Graph-query requests and responses for the cosparsed serving layer.
+//
+// A QueryRequest names one algorithm run (BFS/SSSP/PageRank/CF) over one
+// registered dataset; requests arrive from many tenants and carry a
+// virtual arrival timestamp so the whole serving schedule is a pure
+// function of the trace (DESIGN.md §16). Parsing is strict and total:
+// malformed, truncated or unknown-field documents never throw out of
+// parse_request() — they produce a structured error (field + message)
+// that the daemon turns into an error response, so a hostile client can
+// never crash the service.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/types.h"
+
+namespace cosparse::serve {
+
+/// The four Table I workloads the daemon serves.
+enum class Algo : std::uint8_t { kBfs, kSssp, kPagerank, kCf };
+
+[[nodiscard]] const char* to_string(Algo a);
+/// Throws cosparse::Error on unknown names.
+[[nodiscard]] Algo algo_from_string(std::string_view s);
+
+struct QueryRequest {
+  std::uint64_t id = 0;         ///< assigned by the daemon (arrival order)
+  std::uint64_t arrival_us = 0; ///< virtual-clock arrival (microseconds)
+  std::string tenant;           ///< client identity (multi-tenant fairness)
+  std::string dataset;          ///< DatasetRegistry name (Table III)
+  Algo algo = Algo::kBfs;
+  /// BFS/SSSP source vertex; reduced modulo the loaded graph's dimension
+  /// at execution time so any value is servable.
+  Index source = 0;
+  /// PageRank/CF iteration budget; 0 keeps the algorithm default.
+  std::uint32_t iterations = 0;
+  /// CF latent-factor initialization seed.
+  std::uint64_t seed = 1;
+};
+
+/// Full round-trip serialization (every field, including id/arrival_us).
+[[nodiscard]] Json to_json(const QueryRequest& r);
+
+/// Outcome of parsing one request document: either a request or a
+/// structured error naming the offending field.
+struct ParsedRequest {
+  std::optional<QueryRequest> request;
+  std::string error;        ///< empty on success
+  std::string error_field;  ///< offending field path (may be empty)
+
+  [[nodiscard]] bool ok() const { return request.has_value(); }
+};
+
+/// Strict parse of a request object: "dataset" and "algo" are mandatory,
+/// unknown fields are errors (they usually mean a client schema drift),
+/// and every type mismatch is reported with its field name. Never throws.
+[[nodiscard]] ParsedRequest parse_request(const Json& doc);
+
+/// parse_request() over one JSONL line; JSON syntax errors (truncated
+/// documents, trailing garbage) become structured errors too.
+[[nodiscard]] ParsedRequest parse_request_line(std::string_view line);
+
+// ---- responses ----
+
+enum class Status : std::uint8_t {
+  kOk,        ///< executed; digest present
+  kRejected,  ///< admission control turned the request away
+  kError,     ///< malformed request / unknown dataset / execution failure
+};
+
+[[nodiscard]] const char* to_string(Status s);
+
+struct QueryResponse {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  std::string error;        ///< deterministic reason for rejected/error
+  std::string error_field;  ///< parse errors: offending field
+  // Echoed request identity (responses must be self-describing on the
+  // wire; tenants never see each other's requests).
+  std::string tenant;
+  std::string dataset;
+  std::string algo;
+  /// FNV-1a-64 digest over every result bit (common/digest.h); the
+  /// instrument behind the serve-threads byte-compare gates.
+  std::string digest;
+  std::uint64_t result_elems = 0;     ///< result vector length
+  std::uint32_t algo_iterations = 0;  ///< SpMV iterations the run took
+  // Deterministic virtual-clock times (µs since trace start).
+  std::uint64_t arrival_us = 0;
+  std::uint64_t dispatch_us = 0;  ///< batch dispatch (0 for rejected)
+  std::uint64_t finish_us = 0;
+  std::uint32_t batch = 0;        ///< 1-based batch id (0 = never batched)
+  /// Host wall-clock service time. NOT serialized by results_json() —
+  /// wall time is nondeterministic and lives in the report's timing and
+  /// telemetry sections only.
+  double wall_service_ms = 0.0;
+
+  [[nodiscard]] std::uint64_t latency_us() const {
+    return finish_us >= arrival_us ? finish_us - arrival_us : 0;
+  }
+};
+
+/// The deterministic subset of a response: identity, status, digest,
+/// iteration count and virtual-clock times — everything except wall
+/// clock. This is what the run report's "results" section carries, so
+/// the section is byte-identical for any --serve-threads value.
+[[nodiscard]] Json results_json(const QueryResponse& r);
+
+/// Full wire form: results_json() plus wall_service_ms (what cosparsed
+/// --responses-out emits; not byte-stable across hosts by design).
+[[nodiscard]] Json wire_json(const QueryResponse& r);
+
+}  // namespace cosparse::serve

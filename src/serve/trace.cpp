@@ -1,0 +1,84 @@
+#include "serve/trace.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cosparse::serve {
+
+namespace {
+
+/// Exponential inter-arrival draw with the given mean, floored at 1 µs so
+/// the virtual clock always advances between distinct draws.
+std::uint64_t exp_gap_us(Rng& rng, double mean_us) {
+  const double u = rng.next_double();
+  const double gap = -std::log(1.0 - u) * mean_us;
+  if (gap <= 1.0) return 1;
+  if (gap >= 9.0e15) return 9'000'000'000'000'000ULL;
+  return static_cast<std::uint64_t>(gap);
+}
+
+/// Whether virtual time `t` falls in the burst window of its period.
+bool in_burst(std::uint64_t t, const TrafficConfig& cfg) {
+  const std::uint64_t phase = t % cfg.burst_period_us;
+  const auto window = static_cast<std::uint64_t>(
+      cfg.burst_fraction * static_cast<double>(cfg.burst_period_us));
+  return phase < window;
+}
+
+}  // namespace
+
+std::vector<QueryRequest> generate_trace(const TrafficConfig& cfg) {
+  std::vector<QueryRequest> trace;
+  trace.reserve(cfg.request_total_cnt);
+
+  // Independent sub-streams: arrival jitter must not perturb the workload
+  // mix (and vice versa) when one knob changes.
+  Rng arrivals(cfg.seed, "serve.arrivals");
+  Rng mix(cfg.seed, "serve.mix");
+
+  const auto mean_us = static_cast<double>(cfg.request_interval_us);
+  std::uint64_t now_us = 0;
+  for (std::uint32_t i = 0; i < cfg.request_total_cnt; ++i) {
+    if (cfg.arrival == "bursty") {
+      // On/off-modulated Poisson: inside the burst window of each period
+      // arrivals come burst_factor× faster. The modulation is evaluated
+      // at the draw's start time, so the process stays a pure function of
+      // (seed, config).
+      const double mean = in_burst(now_us, cfg) ? mean_us / cfg.burst_factor
+                                                : mean_us;
+      now_us += exp_gap_us(arrivals, mean);
+    } else {
+      now_us += exp_gap_us(arrivals, mean_us);
+    }
+
+    QueryRequest req;
+    req.id = i + 1;
+    req.arrival_us = now_us;
+    req.tenant =
+        "tenant-" + std::to_string(mix.next_below(cfg.tenants));
+    req.dataset = cfg.datasets[static_cast<std::size_t>(
+        mix.next_below(cfg.datasets.size()))];
+    req.algo = algo_from_string(cfg.algos[static_cast<std::size_t>(
+        mix.next_below(cfg.algos.size()))]);
+    // Source vertices draw from a wide range and are reduced modulo the
+    // loaded graph's dimension at execution time, so the trace does not
+    // depend on dataset scaling.
+    req.source = static_cast<Index>(mix.next_below(1ULL << 20));
+    req.iterations = 0;  // algorithm defaults
+    // Keep the per-request seed within int64 range: the JSON layer stores
+    // larger values as doubles, which would not survive a trace-out /
+    // --requests round trip bit-exactly.
+    req.seed = mix.next() >> 1;
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+Json trace_json(const std::vector<QueryRequest>& trace) {
+  Json arr = Json::array();
+  for (const QueryRequest& r : trace) arr.push_back(to_json(r));
+  return arr;
+}
+
+}  // namespace cosparse::serve

@@ -1,0 +1,29 @@
+// Deterministic load-trace generation for the serving daemon.
+//
+// generate_trace() expands a TrafficConfig into a concrete request
+// schedule: arrival times from a seeded Poisson (or deterministically
+// burst-modulated Poisson) process on the virtual clock, and a workload
+// mix (dataset, algorithm, tenant, source vertex) drawn from independent
+// named sub-streams of the same seed (common/rng.h). The schedule is a
+// pure function of the config — same (seed, trace-config) in, byte-equal
+// schedule out — which is what makes the whole serving pipeline
+// replayable and the serve-threads differential gates possible.
+#pragma once
+
+#include <vector>
+
+#include "serve/config.h"
+#include "serve/request.h"
+
+namespace cosparse::serve {
+
+/// Expands the traffic config into request_total_cnt requests, ids
+/// assigned in arrival order starting at 1, arrival_us nondecreasing.
+[[nodiscard]] std::vector<QueryRequest> generate_trace(
+    const TrafficConfig& cfg);
+
+/// Serializes a schedule for inspection/goldens: one request object per
+/// entry, in arrival order.
+[[nodiscard]] Json trace_json(const std::vector<QueryRequest>& trace);
+
+}  // namespace cosparse::serve

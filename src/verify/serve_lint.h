@@ -1,0 +1,28 @@
+// Pass: serving-daemon config lint (cosparse.serve_config/v1).
+//
+// Validates the documents cosparsed and bench/serve_load replay — the
+// same invariants ServeConfig::from_json enforces by throwing, but
+// emitted as structured findings so CI can lint every committed trace
+// config (bench/traces/*.serve.json) without running the daemon. On top
+// of the structural checks it cross-references the dataset registry
+// (unknown Table III names are errors at admission time; better to catch
+// them in review) and flags configurations that are legal but
+// self-defeating: a batch size admission control can never fill, or a
+// cache budget smaller than the largest dataset the traffic mix can
+// request (every load would run over budget).
+#pragma once
+
+#include <vector>
+
+#include "common/json.h"
+#include "verify/findings.h"
+
+namespace cosparse::verify {
+
+[[nodiscard]] std::vector<Finding> lint_serve_config(const Json& doc);
+
+/// LintReport wrapper for the cosparse-lint `serve` subcommand.
+[[nodiscard]] LintReport lint_serve_config_json(const Json& doc,
+                                                const std::string& subject);
+
+}  // namespace cosparse::verify

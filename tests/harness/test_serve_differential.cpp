@@ -1,0 +1,102 @@
+// Differential harness for the serving daemon (DESIGN.md §16).
+//
+// The guarantee under test: the report of a served trace is functionally
+// byte-identical for every --serve-threads value. The schedule is fixed
+// by a single-threaded DES before any host thread starts, per-request
+// results are pure functions of (dataset, algo, source, iterations,
+// seed), and wall-clock truth is confined to the timing/telemetry
+// sections — so obs::functional_subset (what `cosparse-prof extract
+// --functional` emits, and what the CI serve leg byte-compares across
+// thread counts) must not differ by a single byte. Checked across both
+// scheduler policies, both arrival processes, and both exec backends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/report.h"
+#include "serve/server.h"
+
+namespace cosparse {
+namespace {
+
+serve::ServeConfig config(const std::string& scheduler,
+                          const std::string& arrival,
+                          const std::string& exec_mode) {
+  serve::ServeConfig cfg;
+  cfg.scheduler_type = scheduler;
+  cfg.max_active_reqs = 12;
+  cfg.max_batch_size = 4;
+  cfg.virtual_workers = 2;
+  cfg.exec_mode = exec_mode;
+  cfg.system = "2x2";
+  cfg.scale = 128;
+  cfg.traffic.arrival = arrival;
+  cfg.traffic.request_interval_us = 150;
+  cfg.traffic.request_total_cnt = 24;
+  cfg.traffic.seed = 17;
+  cfg.traffic.datasets = {"twitter", "vsp"};
+  cfg.traffic.algos = {"bfs", "sssp", "pagerank", "cf"};
+  return cfg;
+}
+
+std::string functional_bytes(const serve::ServeConfig& cfg,
+                             std::uint32_t threads) {
+  serve::ServerOptions opts;
+  opts.serve_threads = threads;
+  serve::Server server(cfg, opts);
+  return obs::functional_subset(server.replay()).dump();
+}
+
+TEST(ServeDifferential, ThreadCountNeverChangesFunctionalBytes) {
+  for (const char* scheduler : {"same-dataset-batch", "fcfs"}) {
+    for (const char* arrival : {"poisson", "bursty"}) {
+      const serve::ServeConfig cfg = config(scheduler, arrival, "native");
+      const std::string one = functional_bytes(cfg, 1);
+      for (const std::uint32_t threads : {2u, 8u}) {
+        EXPECT_EQ(one, functional_bytes(cfg, threads))
+            << scheduler << "/" << arrival << " at " << threads
+            << " serve threads";
+      }
+    }
+  }
+}
+
+TEST(ServeDifferential, SimBackendMatchesNativeAcrossThreadCounts) {
+  const serve::ServeConfig native_cfg =
+      config("same-dataset-batch", "bursty", "native");
+  const serve::ServeConfig sim_cfg =
+      config("same-dataset-batch", "bursty", "sim");
+  const std::string native_one = functional_bytes(native_cfg, 1);
+  EXPECT_EQ(native_one, functional_bytes(sim_cfg, 1));
+  EXPECT_EQ(native_one, functional_bytes(sim_cfg, 8));
+}
+
+TEST(ServeDifferential, ScheduleSectionIgnoresServeThreads) {
+  // Stronger than the subset compare: the virtual schedule objects
+  // themselves are built before execution and must be equal.
+  const serve::ServeConfig cfg = config("same-dataset-batch", "poisson",
+                                        "native");
+  serve::ServerOptions one_opts;
+  one_opts.serve_threads = 1;
+  serve::Server one(cfg, one_opts);
+  (void)one.replay();
+  serve::ServerOptions eight_opts;
+  eight_opts.serve_threads = 8;
+  serve::Server eight(cfg, eight_opts);
+  (void)eight.replay();
+  EXPECT_EQ(serve::schedule_json(one.schedule()).dump(),
+            serve::schedule_json(eight.schedule()).dump());
+  ASSERT_EQ(one.schedule().responses.size(),
+            eight.schedule().responses.size());
+  for (std::size_t i = 0; i < one.schedule().responses.size(); ++i) {
+    EXPECT_EQ(one.schedule().responses[i].digest,
+              eight.schedule().responses[i].digest)
+        << "request " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace cosparse

@@ -1,0 +1,159 @@
+// Request/response parsing: strict, total, never throws on hostile input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "serve/request.h"
+
+namespace cosparse::serve {
+namespace {
+
+TEST(Algo, StringRoundTrip) {
+  for (const Algo a : {Algo::kBfs, Algo::kSssp, Algo::kPagerank, Algo::kCf})
+    EXPECT_EQ(algo_from_string(to_string(a)), a);
+  EXPECT_THROW((void)algo_from_string("dijkstra"), Error);
+}
+
+TEST(ParseRequest, FullDocument) {
+  Json doc = Json::object();
+  doc["dataset"] = "twitter";
+  doc["algo"] = "sssp";
+  doc["tenant"] = "alice";
+  doc["source"] = 42;
+  doc["iterations"] = 5;
+  doc["seed"] = 9;
+  doc["arrival_us"] = 1234;
+  const ParsedRequest p = parse_request(doc);
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.request->dataset, "twitter");
+  EXPECT_EQ(p.request->algo, Algo::kSssp);
+  EXPECT_EQ(p.request->tenant, "alice");
+  EXPECT_EQ(p.request->source, 42);
+  EXPECT_EQ(p.request->iterations, 5u);
+  EXPECT_EQ(p.request->seed, 9u);
+  EXPECT_EQ(p.request->arrival_us, 1234u);
+}
+
+TEST(ParseRequest, MandatoryFields) {
+  Json no_dataset = Json::object();
+  no_dataset["algo"] = "bfs";
+  EXPECT_FALSE(parse_request(no_dataset).ok());
+  EXPECT_EQ(parse_request(no_dataset).error_field, "dataset");
+
+  Json no_algo = Json::object();
+  no_algo["dataset"] = "twitter";
+  EXPECT_FALSE(parse_request(no_algo).ok());
+  EXPECT_EQ(parse_request(no_algo).error_field, "algo");
+}
+
+TEST(ParseRequest, UnknownFieldIsAStructuredError) {
+  Json doc = Json::object();
+  doc["dataset"] = "twitter";
+  doc["algo"] = "bfs";
+  doc["sauce"] = 3;
+  const ParsedRequest p = parse_request(doc);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.error_field, "sauce");
+  EXPECT_NE(p.error.find("sauce"), std::string::npos);
+}
+
+TEST(ParseRequest, TypeMismatchNamesTheField) {
+  Json doc = Json::object();
+  doc["dataset"] = "twitter";
+  doc["algo"] = "bfs";
+  doc["source"] = "zero";
+  const ParsedRequest p = parse_request(doc);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.error_field, "source");
+}
+
+TEST(ParseRequest, UnknownAlgoIsAStructuredError) {
+  Json doc = Json::object();
+  doc["dataset"] = "twitter";
+  doc["algo"] = "bellman-ford";
+  const ParsedRequest p = parse_request(doc);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.error_field, "algo");
+}
+
+TEST(ParseRequest, NonObjectDocument) {
+  EXPECT_FALSE(parse_request(Json(std::int64_t{7})).ok());
+  EXPECT_FALSE(parse_request(Json::array()).ok());
+}
+
+TEST(ParseRequestLine, TruncatedAndGarbageInputNeverThrow) {
+  const char* hostile[] = {
+      "",
+      "{",
+      "{\"dataset\": \"tw",
+      "not json",
+      "[1, 2, 3]",
+      "{\"dataset\": \"twitter\", \"algo\": \"bfs\"} trailing",
+      "{\"dataset\": null, \"algo\": \"bfs\"}",
+      "{\"source\": -1, \"dataset\": \"twitter\", \"algo\": \"bfs\"}",
+      "\x01\x02\xff",
+  };
+  for (const char* line : hostile) {
+    const ParsedRequest p = parse_request_line(line);
+    EXPECT_FALSE(p.ok()) << line;
+    EXPECT_FALSE(p.error.empty()) << line;
+  }
+}
+
+TEST(ParseRequestLine, ValidLineParses) {
+  const ParsedRequest p =
+      parse_request_line("{\"dataset\": \"vsp\", \"algo\": \"pagerank\"}");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.request->algo, Algo::kPagerank);
+}
+
+TEST(RequestJson, RoundTripThroughParse) {
+  QueryRequest r;
+  r.id = 3;
+  r.arrival_us = 500;
+  r.tenant = "t-1";
+  r.dataset = "youtube";
+  r.algo = Algo::kCf;
+  r.source = 11;
+  r.iterations = 2;
+  r.seed = 1234;
+  // to_json includes the daemon-assigned id; strip it the way a client
+  // would before resubmitting.
+  Json doc = to_json(r);
+  Json resubmit = Json::object();
+  for (const auto& [key, value] : doc.members())
+    if (key != "id") resubmit[key] = value;
+  const ParsedRequest p = parse_request(resubmit);
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.request->dataset, r.dataset);
+  EXPECT_EQ(p.request->algo, r.algo);
+  EXPECT_EQ(p.request->seed, r.seed);
+  EXPECT_EQ(p.request->arrival_us, r.arrival_us);
+}
+
+TEST(ResponseJson, ResultsSubsetExcludesWallClock) {
+  QueryResponse r;
+  r.id = 1;
+  r.status = Status::kOk;
+  r.digest = "deadbeefdeadbeef";
+  r.wall_service_ms = 3.25;
+  const std::string results = results_json(r).dump();
+  EXPECT_EQ(results.find("wall_service_ms"), std::string::npos);
+  const std::string wire = wire_json(r).dump();
+  EXPECT_NE(wire.find("wall_service_ms"), std::string::npos);
+  EXPECT_NE(wire.find("deadbeef"), std::string::npos);
+}
+
+TEST(ResponseJson, LatencyClampsToZero) {
+  QueryResponse r;
+  r.arrival_us = 100;
+  r.finish_us = 40;  // rejected responses can finish "before" arrival
+  EXPECT_EQ(r.latency_us(), 0u);
+  r.finish_us = 160;
+  EXPECT_EQ(r.latency_us(), 60u);
+}
+
+}  // namespace
+}  // namespace cosparse::serve

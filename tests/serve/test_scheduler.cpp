@@ -1,0 +1,217 @@
+// The discrete-event scheduler: admission, batching, virtual timing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.h"
+#include "serve/trace.h"
+
+namespace cosparse::serve {
+namespace {
+
+ServeConfig small_config() {
+  ServeConfig cfg;
+  cfg.scheduler_type = "same-dataset-batch";
+  cfg.max_active_reqs = 8;
+  cfg.max_batch_size = 4;
+  cfg.virtual_workers = 2;
+  cfg.scale = 2048;
+  cfg.traffic.request_interval_us = 200;
+  cfg.traffic.request_total_cnt = 60;
+  cfg.traffic.seed = 5;
+  cfg.traffic.datasets = {"twitter", "vsp"};
+  cfg.traffic.algos = {"bfs", "pagerank"};
+  return cfg;
+}
+
+QueryRequest req(std::uint64_t id, std::uint64_t arrival,
+                 const std::string& dataset, Algo algo = Algo::kBfs) {
+  QueryRequest r;
+  r.id = id;
+  r.arrival_us = arrival;
+  r.dataset = dataset;
+  r.algo = algo;
+  return r;
+}
+
+TEST(Scheduler, PureFunctionOfConfigAndTrace) {
+  const ServeConfig cfg = small_config();
+  const auto trace = generate_trace(cfg.traffic);
+  const Schedule a = build_schedule(cfg, trace);
+  const Schedule b = build_schedule(cfg, trace);
+  EXPECT_EQ(schedule_json(a).dump(), schedule_json(b).dump());
+}
+
+TEST(Scheduler, FcfsDispatchesSinglyInArrivalOrder) {
+  ServeConfig cfg = small_config();
+  cfg.scheduler_type = "fcfs";
+  cfg.virtual_workers = 1;
+  const std::vector<QueryRequest> trace = {
+      req(1, 0, "twitter"), req(2, 1, "vsp"), req(3, 2, "twitter")};
+  const Schedule s = build_schedule(cfg, trace);
+  ASSERT_EQ(s.batches.size(), 3u);
+  std::uint64_t prev_dispatch = 0;
+  for (std::size_t i = 0; i < s.batches.size(); ++i) {
+    EXPECT_EQ(s.batches[i].request_indices.size(), 1u);
+    EXPECT_EQ(s.batches[i].request_indices[0], i);  // arrival order
+    EXPECT_GE(s.batches[i].dispatch_us, prev_dispatch);
+    prev_dispatch = s.batches[i].dispatch_us;
+  }
+}
+
+TEST(Scheduler, SameDatasetBatchCoalesces) {
+  ServeConfig cfg = small_config();
+  cfg.virtual_workers = 1;
+  cfg.max_batch_size = 8;
+  // Four twitter requests arrive while the worker is busy with the first:
+  // they must coalesce into one batch.
+  std::vector<QueryRequest> trace;
+  trace.push_back(req(1, 0, "vsp"));
+  for (std::uint64_t i = 2; i <= 5; ++i)
+    trace.push_back(req(i, 1, "twitter"));
+  const Schedule s = build_schedule(cfg, trace);
+  ASSERT_EQ(s.batches.size(), 2u);
+  EXPECT_EQ(s.batches[0].dataset, "vsp");
+  EXPECT_EQ(s.batches[1].dataset, "twitter");
+  EXPECT_EQ(s.batches[1].request_indices.size(), 4u);
+  // One engine instance, one shared dispatch time for the whole batch.
+  for (const std::size_t idx : s.batches[1].request_indices)
+    EXPECT_EQ(s.responses[idx].dispatch_us, s.batches[1].dispatch_us);
+}
+
+TEST(Scheduler, BatchSizeIsCapped) {
+  ServeConfig cfg = small_config();
+  cfg.virtual_workers = 1;
+  cfg.max_batch_size = 2;
+  cfg.max_active_reqs = 64;
+  std::vector<QueryRequest> trace;
+  trace.push_back(req(1, 0, "vsp"));
+  for (std::uint64_t i = 2; i <= 8; ++i)
+    trace.push_back(req(i, 1, "twitter"));
+  const Schedule s = build_schedule(cfg, trace);
+  for (const BatchPlan& b : s.batches)
+    EXPECT_LE(b.request_indices.size(), 2u);
+}
+
+TEST(Scheduler, AdmissionControlRejectsBeyondMaxActive) {
+  ServeConfig cfg = small_config();
+  cfg.scheduler_type = "fcfs";
+  cfg.virtual_workers = 1;
+  cfg.max_active_reqs = 2;
+  // Five simultaneous arrivals, worker serves one at a time: only 2 can
+  // be active, the rest are rejected deterministically.
+  std::vector<QueryRequest> trace;
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    trace.push_back(req(i, 0, "twitter"));
+  const Schedule s = build_schedule(cfg, trace);
+  EXPECT_EQ(s.stats.admitted, 2u);
+  EXPECT_EQ(s.stats.rejected, 3u);
+  std::size_t rejected = 0;
+  for (const QueryResponse& r : s.responses) {
+    if (r.status == Status::kRejected) {
+      ++rejected;
+      EXPECT_FALSE(r.error.empty());
+      EXPECT_EQ(r.batch, 0u);
+    }
+  }
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_LE(s.stats.peak_active, cfg.max_active_reqs);
+}
+
+TEST(Scheduler, UnknownDatasetBecomesErrorNotQueued) {
+  ServeConfig cfg = small_config();
+  const std::vector<QueryRequest> trace = {req(1, 0, "friendster"),
+                                           req(2, 5, "twitter")};
+  const Schedule s = build_schedule(cfg, trace);
+  EXPECT_EQ(s.stats.errored, 1u);
+  EXPECT_EQ(s.stats.admitted, 1u);
+  EXPECT_EQ(s.responses[0].status, Status::kError);
+  EXPECT_NE(s.responses[0].error.find("friendster"), std::string::npos);
+  EXPECT_EQ(s.responses[1].status, Status::kOk);
+}
+
+TEST(Scheduler, VirtualTimesAreConsistent) {
+  const ServeConfig cfg = small_config();
+  const auto trace = generate_trace(cfg.traffic);
+  const Schedule s = build_schedule(cfg, trace);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const QueryResponse& r = s.responses[i];
+    if (r.status != Status::kOk) continue;
+    EXPECT_GE(r.dispatch_us, trace[i].arrival_us);
+    EXPECT_GT(r.finish_us, r.dispatch_us);
+    EXPECT_LE(r.finish_us, s.stats.makespan_us);
+    ASSERT_GE(r.batch, 1u);
+    ASSERT_LE(r.batch, s.batches.size());
+    const BatchPlan& b = s.batches[r.batch - 1];
+    EXPECT_EQ(r.dispatch_us, b.dispatch_us);
+    EXPECT_LE(r.finish_us, b.finish_us);
+    EXPECT_LT(b.worker, cfg.virtual_workers);
+  }
+}
+
+TEST(Scheduler, VirtualCacheCountsMissesAndHits) {
+  ServeConfig cfg = small_config();
+  cfg.virtual_workers = 1;
+  const std::vector<QueryRequest> trace = {
+      req(1, 0, "twitter"), req(2, 100000, "twitter"),
+      req(3, 200000, "vsp")};
+  const Schedule s = build_schedule(cfg, trace);
+  EXPECT_EQ(s.stats.cache_misses, 2u);  // twitter, vsp
+  EXPECT_EQ(s.stats.cache_hits, 1u);    // the second twitter
+  ASSERT_EQ(s.batches.size(), 3u);
+  EXPECT_TRUE(s.batches[0].cache_miss);
+  EXPECT_FALSE(s.batches[1].cache_miss);
+  EXPECT_TRUE(s.batches[2].cache_miss);
+}
+
+TEST(Scheduler, CostModelOrdersAlgorithmsAndDatasets) {
+  const CostModel cm{2048};
+  // CF > PageRank > SSSP > BFS on the same dataset.
+  EXPECT_GT(cm.service_us("twitter", Algo::kCf),
+            cm.service_us("twitter", Algo::kPagerank));
+  EXPECT_GT(cm.service_us("twitter", Algo::kPagerank),
+            cm.service_us("twitter", Algo::kSssp));
+  EXPECT_GT(cm.service_us("twitter", Algo::kSssp),
+            cm.service_us("twitter", Algo::kBfs));
+  // Bigger graphs cost more to load.
+  EXPECT_GT(cm.load_us("livejournal"), cm.load_us("twitter"));
+  EXPECT_GT(cm.bytes("livejournal"), cm.bytes("twitter"));
+}
+
+TEST(Scheduler, LatencyPercentileSortedIndexMethod) {
+  std::vector<QueryResponse> rs;
+  for (std::uint64_t us : {50, 10, 30, 20, 40}) {
+    QueryResponse r;
+    r.status = Status::kOk;
+    r.arrival_us = 0;
+    r.finish_us = us;
+    rs.push_back(r);
+  }
+  QueryResponse rejected;
+  rejected.status = Status::kRejected;
+  rejected.finish_us = 9999;
+  rs.push_back(rejected);  // non-kOk responses are excluded
+  EXPECT_EQ(latency_percentile_us(rs, 50.0), 30u);
+  EXPECT_EQ(latency_percentile_us(rs, 99.0), 50u);
+  EXPECT_EQ(latency_percentile_us(rs, 100.0), 50u);
+  EXPECT_EQ(latency_percentile_us({}, 50.0), 0u);
+}
+
+TEST(Scheduler, QueueSamplesRespectAdmissionBound) {
+  const ServeConfig cfg = small_config();
+  const auto trace = generate_trace(cfg.traffic);
+  const Schedule s = build_schedule(cfg, trace);
+  ASSERT_FALSE(s.queue_depth.empty());
+  std::uint64_t prev_t = 0;
+  for (const QueueSample& q : s.queue_depth) {
+    EXPECT_LE(q.waiting + q.running, cfg.max_active_reqs);
+    EXPECT_GE(q.t_us, prev_t);
+    prev_t = q.t_us;
+  }
+}
+
+}  // namespace
+}  // namespace cosparse::serve

@@ -1,0 +1,90 @@
+// Serving-daemon longevity soak (opt-in: -DCOSPARSE_SOAK=ON, `ctest -L
+// soak`). A 10k-request replay through the full pipeline — trace,
+// DES schedule, real batched execution, report — asserting the
+// accounting invariants hold at scale: every request reaches a terminal
+// status, queue samples advance monotonically in virtual time and never
+// breach admission, cumulative cache counters reconcile, and a second
+// identical replay produces byte-identical functional results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "obs/report.h"
+#include "serve/server.h"
+
+namespace cosparse::serve {
+namespace {
+
+ServeConfig soak_config() {
+  ServeConfig cfg;
+  cfg.scheduler_type = "same-dataset-batch";
+  cfg.max_active_reqs = 48;
+  cfg.max_batch_size = 16;
+  cfg.virtual_workers = 4;
+  cfg.exec_mode = "native";
+  cfg.scale = 512;
+  cfg.traffic.arrival = "bursty";
+  cfg.traffic.request_interval_us = 120;
+  cfg.traffic.request_total_cnt = 10000;
+  cfg.traffic.seed = 99;
+  cfg.traffic.datasets = {"twitter", "youtube"};
+  cfg.traffic.algos = {"bfs"};  // keep 10k executions tractable
+  return cfg;
+}
+
+TEST(ServeSoak, TenThousandRequestsStayAccounted) {
+  const ServeConfig cfg = soak_config();
+  ServerOptions opts;
+  opts.serve_threads = 4;
+  Server server(cfg, opts);
+  const Json report = server.replay();
+  const Schedule& s = server.schedule();
+
+  // Terminal-status accounting over all 10k requests.
+  ASSERT_EQ(s.responses.size(), 10000u);
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  for (const QueryResponse& r : s.responses) {
+    switch (r.status) {
+      case Status::kOk:
+        ++ok;
+        ASSERT_FALSE(r.digest.empty()) << "id " << r.id;
+        break;
+      case Status::kRejected: ++rejected; break;
+      case Status::kError: FAIL() << "unexpected error, id " << r.id;
+    }
+  }
+  EXPECT_EQ(ok, s.stats.admitted);
+  EXPECT_EQ(rejected, s.stats.rejected);
+  EXPECT_EQ(ok + rejected, 10000u);
+  EXPECT_GT(ok, 0u);
+
+  // Queue samples: virtual time monotone, admission bound never breached,
+  // and the queue fully drains by trace end.
+  ASSERT_FALSE(s.queue_depth.empty());
+  std::uint64_t prev_t = 0;
+  for (const QueueSample& q : s.queue_depth) {
+    ASSERT_GE(q.t_us, prev_t);
+    ASSERT_LE(q.waiting + q.running, cfg.max_active_reqs);
+    prev_t = q.t_us;
+  }
+  EXPECT_EQ(s.queue_depth.back().waiting, 0u);
+  EXPECT_EQ(s.queue_depth.back().running, 0u);
+
+  // Cumulative counters reconcile: every batch either hit or missed the
+  // host cache, and the virtual model saw the same batch count.
+  const CacheStats& host = server.cache_stats();
+  EXPECT_EQ(host.hits + host.misses, s.batches.size());
+  EXPECT_EQ(s.stats.cache_hits + s.stats.cache_misses, s.batches.size());
+
+  // The whole 10k-request run replays byte-identically.
+  Server again(cfg, opts);
+  const Json report2 = again.replay();
+  EXPECT_EQ(obs::functional_subset(report).dump(),
+            obs::functional_subset(report2).dump());
+}
+
+}  // namespace
+}  // namespace cosparse::serve

@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/json.h"
 #include "verify/baseline.h"
+#include "verify/serve_lint.h"
 #include "verify/telemetry_lint.h"
 
 namespace cosparse::tools {
@@ -18,13 +19,16 @@ namespace cosparse::tools {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: cosparse-lint [plan|report|telemetry|code] <file>... [options]\n"
+    "usage: cosparse-lint [plan|report|telemetry|serve|code] <file>... "
+    "[options]\n"
     "\n"
     "subcommands:\n"
     "  plan       lint cosparse.run_plan/v1 documents (default)\n"
     "  report     lint cosparse.run_report/v1 documents\n"
     "  telemetry  lint exported telemetry files: *.prom/*.txt as\n"
     "             OpenMetrics text, anything else as snapshot JSONL\n"
+    "  serve      lint cosparse.serve_config/v1 documents (cosparsed /\n"
+    "             bench/serve_load trace configs)\n"
     "  code       scan the source tree for signal-safety, FP-exactness,\n"
     "             determinism and phase-hygiene hazards; <file> is the\n"
     "             build's compile_commands.json\n"
@@ -52,7 +56,8 @@ bool parse_args(int argc, const char* const* argv, Options& opts,
   std::vector<std::string> args(argv + 1, argv + argc);
   std::size_t i = 0;
   if (!args.empty() && (args[0] == "plan" || args[0] == "report" ||
-                        args[0] == "telemetry" || args[0] == "code")) {
+                        args[0] == "telemetry" || args[0] == "serve" ||
+                        args[0] == "code")) {
     opts.subcommand = args[0];
     ++i;
   }
@@ -197,6 +202,8 @@ int lint_main(int argc, const char* const* argv, std::ostream& out,
           const Json doc = Json::parse(buf.str());
           report = opts.subcommand == "report"
                        ? verify::lint_run_report_json(doc, path)
+                   : opts.subcommand == "serve"
+                       ? verify::lint_serve_config_json(doc, path)
                        : verify::lint_plan_json(doc, path);
         } catch (const Error& e) {
           report.add(verify::Finding{

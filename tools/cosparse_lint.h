@@ -21,6 +21,11 @@
 //     streams (schema per line, strictly increasing seq, monotone
 //     wall_ms/iterations).
 //
+//   serve <config.json>... [options]
+//     lints cosparse.serve_config/v1 documents — the trace configs
+//     cosparsed and bench/serve_load replay (schema, field types/ranges,
+//     dataset-registry cross-references, self-defeating knob combos).
+//
 //   code [compile_commands.json] [--root <dir>] [options]
 //     token/declaration-level scan of the source tree (src/analyze/):
 //     signal_safety, fp_exactness, determinism and phase_hygiene passes

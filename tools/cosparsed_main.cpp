@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cosparsed.h"
+
+int main(int argc, char** argv) {
+  return cosparse::tools::cosparsed_main(argc, argv, std::cout, std::cerr);
+}
